@@ -1,0 +1,29 @@
+"""Design-choice ablations (§5.1 enforcement point, comparator erratum,
+TIC variants, oracle quality, gRPC noise, sharding strategy)."""
+
+from repro.experiments import ablations
+
+
+def test_ablations_regeneration(benchmark, ctx):
+    out = benchmark.pedantic(ablations.run, args=(ctx,), rounds=1, iterations=1)
+    by = {(r["group"], r["variant"]): r for r in out.rows}
+
+    baseline = by[("enforcement", "none (baseline)")]["throughput_sps"]
+    sender = by[("enforcement", "sender")]["throughput_sps"]
+    assert sender > baseline, "deployed enforcement must beat no scheduling"
+
+    eq6 = by[("comparator", "tac (Eq. 6)")]["vs_baseline_pct"]
+    printed = by[("comparator", "tac (as printed)")]["vs_baseline_pct"]
+    assert eq6 > printed + 5.0, (
+        "the printed comparator is inverted; Eq. 6 must win clearly"
+    )
+
+    tic = by[("tic_variant", "tic")]["vs_baseline_pct"]
+    tic_plus = by[("tic_variant", "tic_plus")]["vs_baseline_pct"]
+    assert abs(tic - tic_plus) < 8.0
+
+    est = by[("oracle", "estimated (min of 5)")]["vs_baseline_pct"]
+    exact = by[("oracle", "exact")]["vs_baseline_pct"]
+    assert abs(est - exact) < 5.0, "min-of-5 estimation suffices (§5)"
+    print()
+    print(out.text)

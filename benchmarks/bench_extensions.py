@@ -1,0 +1,37 @@
+"""Extension benches: straggler decomposition and pipelining ablation.
+
+These regenerate the two extension experiments DESIGN.md calls out beyond
+the paper's figures (grounded in §6.3's straggler-source framing and §7's
+future-work directions).
+"""
+
+from repro.experiments import pipelining, stragglers
+
+
+def test_straggler_decomposition(benchmark, ctx):
+    out = benchmark.pedantic(stragglers.run, args=(ctx,), rounds=1, iterations=1)
+    rows = {(r["slow_worker_factor"], r["algorithm"]): r for r in out.rows}
+    # homogeneous cluster: scheduling removes most straggling
+    assert rows[(1.0, "tic")]["straggler_pct_max"] < rows[(1.0, "baseline")]["straggler_pct_max"]
+    # hardware-slow worker: system-induced component dominates and
+    # scheduling cannot remove it
+    slow_tic = rows[(1.5, "tic")]["straggler_pct_max"]
+    assert slow_tic > 3 * rows[(1.0, "tic")]["straggler_pct_max"]
+    # ...but TicTac still removes the scheduling component of the time
+    assert rows[(1.5, "tic")]["iteration_ms"] <= rows[(1.5, "baseline")]["iteration_ms"]
+    print()
+    print(out.text)
+
+
+def test_pipelining_ablation(benchmark, ctx):
+    out = benchmark.pedantic(pipelining.run, args=(ctx,), rounds=1, iterations=1)
+    rows = {r["algorithm"]: r for r in out.rows}
+    for r in rows.values():
+        # steady-state spacing stays in the barrier model's neighbourhood
+        assert 0.3 * r["barrier_ms"] <= r["pipelined_steady_ms"] <= 1.25 * r["barrier_ms"]
+        # the fill latency is about one barrier iteration
+        assert r["fill_latency_ms"] >= 0.5 * r["barrier_ms"]
+    # under pipelining the two configurations converge or TIC stays ahead
+    assert rows["tic"]["pipelined_steady_ms"] <= rows["baseline"]["pipelined_steady_ms"] * 1.05
+    print()
+    print(out.text)

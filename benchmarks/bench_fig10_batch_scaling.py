@@ -1,0 +1,19 @@
+"""Fig. 10 — speedup under computational-load (batch-size) scaling."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_regeneration(benchmark, ctx):
+    out = benchmark.pedantic(fig10.run, args=(ctx,), rounds=1, iterations=1)
+    factors = {r["batch_factor"] for r in out.rows}
+    assert factors == {0.5, 1.0, 2.0}
+    # batch scales linearly with the factor
+    by_model = {}
+    for r in out.rows:
+        by_model.setdefault(r["model"], {})[r["batch_factor"]] = r
+    for model, rows in by_model.items():
+        assert rows[2.0]["batch"] == 4 * rows[0.5]["batch"]
+        # absolute throughput grows with batch (more work per pull)
+        assert rows[2.0]["baseline_sps"] > rows[0.5]["baseline_sps"]
+    print()
+    print(out.text)

@@ -1,0 +1,22 @@
+"""Fig. 11 — scheduling efficiency and straggler effect vs. model size."""
+
+import numpy as np
+
+from repro.experiments import fig11
+
+
+def test_fig11_regeneration(benchmark, ctx):
+    out = benchmark.pedantic(fig11.run, args=(ctx,), rounds=1, iterations=1)
+    tic = [r for r in out.rows if r["algorithm"] == "tic"]
+    base = [r for r in out.rows if r["algorithm"] == "baseline"]
+    # (a) E -> 1 under TIC, above the baseline scatter
+    assert min(r["efficiency_mean"] for r in tic) > 0.95
+    assert np.mean([r["efficiency_mean"] for r in tic]) > np.mean(
+        [r["efficiency_mean"] for r in base]
+    )
+    # (b) stragglers compressed on aggregate (paper: up to 2.3x)
+    assert np.mean([r["straggler_pct_max"] for r in tic]) < np.mean(
+        [r["straggler_pct_max"] for r in base]
+    )
+    print()
+    print(out.text)

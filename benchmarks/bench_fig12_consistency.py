@@ -1,0 +1,21 @@
+"""Fig. 12 — efficiency/step-time regression and step-time CDF (envC).
+
+Paper targets: R² = 0.98 for the linear fit of normalized step time on
+scheduling efficiency; 95th-percentile normalized step time 0.634
+(baseline) vs 0.998 (TAC).
+"""
+
+from repro.experiments import fig12
+
+
+def test_fig12_regeneration(benchmark, ctx):
+    out = benchmark.pedantic(fig12.run, args=(ctx,), rounds=1, iterations=1)
+    # (a) the metric explains most step-time variance
+    assert out.extras["r2"] > 0.85, (
+        f"R2 {out.extras['r2']:.3f} too low vs paper's 0.98"
+    )
+    # (b) TAC's step-time distribution is much tighter than baseline's
+    assert out.extras["p95_tac"] > out.extras["p95_baseline"] + 0.05
+    assert out.extras["p95_tac"] > 0.9
+    print()
+    print(out.text)

@@ -1,0 +1,19 @@
+"""Fig. 13 — TIC vs. TAC on the commodity CPU cluster (envC)."""
+
+import numpy as np
+
+from repro.experiments import fig13
+
+
+def test_fig13_regeneration(benchmark, ctx):
+    out = benchmark.pedantic(fig13.run, args=(ctx,), rounds=1, iterations=1)
+    tic = np.array([r["tic_speedup_pct"] for r in out.rows])
+    tac = np.array([r["tac_speedup_pct"] for r in out.rows])
+    # both heuristics beat the baseline on the envC models
+    assert tic.min() > 0 and tac.min() > 0
+    # and they are comparable (the paper's Appendix-B conclusion)
+    assert np.abs(tic - tac).max() <= 10.0
+    # envC gains are substantial (the paper shows up to ~75%)
+    assert max(tic.max(), tac.max()) > 15.0
+    print()
+    print(out.text)

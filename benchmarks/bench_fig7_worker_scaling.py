@@ -1,0 +1,26 @@
+"""Fig. 7 — throughput speedup vs. worker count (envG, PS:W = 1:4).
+
+Regenerates the figure's rows (speedup of TIC over the no-scheduling
+baseline per model x worker-count x workload) and asserts its shape:
+positive gains for communication-bound models, inference >= training on
+aggregate, and the documented small-scale overhead tolerance.
+"""
+
+import numpy as np
+
+from repro.experiments import fig7
+
+
+def test_fig7_regeneration(benchmark, ctx, results):
+    out = benchmark.pedantic(fig7.run, args=(ctx,), rounds=1, iterations=1)
+    results["fig7"] = out
+    gains = np.array([r["speedup_pct"] for r in out.rows])
+    # the sweep must show real wins somewhere and only bounded losses
+    assert gains.max() > 10.0
+    assert gains.min() > -8.0
+    by_workload = {}
+    for row in out.rows:
+        by_workload.setdefault(row["workload"], []).append(row["speedup_pct"])
+    assert np.mean(by_workload["inference"]) >= np.mean(by_workload["training"])
+    print()
+    print(out.text)

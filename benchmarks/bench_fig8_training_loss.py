@@ -1,0 +1,14 @@
+"""Fig. 8 — loss trajectories with and without enforced ordering."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_regeneration(benchmark, ctx):
+    out = benchmark.pedantic(fig8.run, args=(ctx,), rounds=1, iterations=1)
+    assert out.extras["identical"] is True, (
+        "enforced ordering must not change the training trajectory"
+    )
+    losses = [r["loss_tic"] for r in out.rows]
+    assert losses[-1] < losses[0], "loss must decrease over training"
+    print()
+    print(out.text)

@@ -1,0 +1,19 @@
+"""Fig. 9 — speedup vs. number of parameter servers (envG, 8 workers)."""
+
+import numpy as np
+
+from repro.experiments import fig9
+
+
+def test_fig9_regeneration(benchmark, ctx):
+    out = benchmark.pedantic(fig9.run, args=(ctx,), rounds=1, iterations=1)
+    gains = np.array([r["speedup_pct"] for r in out.rows])
+    # ordering keeps paying under multiple PS shards
+    assert gains.max() > 5.0
+    by_ps = {}
+    for row in out.rows:
+        by_ps.setdefault(row["ps"], []).append(row["speedup_pct"])
+    for ps, vals in by_ps.items():
+        assert np.mean(vals) > -5.0, f"ps={ps} should not collapse"
+    print()
+    print(out.text)

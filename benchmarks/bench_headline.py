@@ -1,0 +1,15 @@
+"""Abstract headline claims: max speedups, worst slowdown, straggler cut."""
+
+from repro.experiments import headline
+
+
+def test_headline_regeneration(benchmark, ctx):
+    out = benchmark.pedantic(headline.run, args=(ctx,), rounds=1, iterations=1)
+    rows = {r["claim"]: r for r in out.rows}
+    assert rows["max inference speedup"]["ours_pct"] > 15.0
+    assert rows["max training speedup"]["ours_pct"] > 8.0
+    # the paper tolerates up to -4.2% at small scale; allow the same decade
+    assert rows["worst slowdown"]["ours_pct"] > -8.0
+    assert rows["max straggler reduction (x)"]["ours_pct"] > 1.5
+    print()
+    print(out.text)

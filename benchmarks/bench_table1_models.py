@@ -1,0 +1,24 @@
+"""Table 1 — model characteristics (regeneration + build cost)."""
+
+from repro.experiments import table1
+from repro.models import build_model, op_counts
+
+
+def test_table1_regeneration(benchmark, ctx):
+    out = benchmark.pedantic(table1.run, args=(ctx,), rounds=1, iterations=1)
+    assert len(out.rows) == 10
+    # parity re-asserted on the bench artifact itself
+    for row in out.rows:
+        assert row["params"] == row["params_paper"]
+        assert abs(row["size_mib"] - row["size_mib_paper"]) <= 0.01
+    print()
+    print(out.text)
+
+
+def test_bench_largest_model_build(benchmark):
+    """Zoo cost: building + lowering the largest graph (ResNet-101 v2)."""
+    def build_and_count():
+        return op_counts(build_model("ResNet-101 v2"))
+
+    inf, tr = benchmark(build_and_count)
+    assert inf > 2000 and tr > 3500

@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Every paper table/figure has one bench module. Each bench (a) times the
+experiment driver (or a representative slice of it) with pytest-benchmark
+and (b) prints/persists the regenerated rows so the run doubles as a
+results artifact. Set ``REPRO_SCALE=full`` for the paper-scale protocol;
+the default quick scale keeps the whole suite in minutes.
+
+Artifacts land in ``results/`` (CSV) — see EXPERIMENTS.md for the
+paper-vs-measured read-out of a full run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import make_context
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Shared experiment context for the whole benchmark session."""
+    return make_context(verbose=False)
+
+
+@pytest.fixture(scope="session")
+def results():
+    """Mutable session store so benches can cross-check one another."""
+    return {}

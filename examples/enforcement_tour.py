@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Tour of the §5.1 enforcement design space.
+
+The paper weighs several places to impose a transfer order and deploys
+sender-side counters in front of gRPC. This example measures the
+candidates on a communication-bound configuration (Inception v2 serving
+on the 1 GbE envC cluster) so the §5.1 prose becomes numbers:
+
+* ``none``        — priorities ignored (vanilla TF baseline);
+* ``sender``      — counters gate each hand-off to gRPC (deployed choice);
+* ``ready_queue`` — greedy priority pick at the channel queue (the
+  "order the activation" strawman: a transfer that is ready early can
+  still overtake — §5.1 notes exactly this);
+* ``dag``         — chain transfers by completion (order is exact but
+  each transfer waits a full RPC before the next may start).
+
+The *order fidelity* column is the fraction of parameter transfers that
+hit the wire out of priority order — compare the paper's measured ~0.5%
+residual reordering under sender-side enforcement.
+
+Run:  python examples/enforcement_tour.py
+"""
+
+from repro.ps import ClusterSpec
+from repro.sim import SimConfig, simulate_cluster
+
+MODEL = "Inception v2"
+
+
+def main() -> None:
+    spec = ClusterSpec(n_workers=4, n_ps=1, workload="inference")
+    base_cfg = dict(iterations=6, warmup=1, seed=11)
+
+    print(f"{MODEL}, {spec.n_workers} inference agents / {spec.n_ps} PS, envC\n")
+    print(f"{'enforcement':>12} {'ms/iter':>9} {'vs none':>8} {'straggler %':>11} "
+          f"{'out-of-order %':>14}")
+    baseline_time = None
+    for mode in ("none", "sender", "ready_queue", "dag"):
+        config = SimConfig(enforcement=mode, **base_cfg)
+        result = simulate_cluster(
+            MODEL, spec, algorithm="tic" if mode != "none" else "baseline",
+            platform="envC", config=config,
+        )
+        ms = result.mean_iteration_time * 1e3
+        if baseline_time is None:
+            baseline_time = ms
+        delta = (baseline_time - ms) / baseline_time * 100
+        print(f"{mode:>12} {ms:>9.1f} {delta:>+7.1f}% "
+              f"{result.max_straggler_pct:>11.1f} "
+              f"{result.out_of_order_rate*100:>14.2f}")
+
+    print(
+        "\nAll enforcement points recover the throughput, but they differ in\n"
+        "order fidelity: the greedy ready-queue lets early-arriving transfers\n"
+        "overtake (double-digit out-of-order rates — §5.1's objection), while\n"
+        "sender-side counters keep it near the paper's measured ~0.5%. The\n"
+        "dag mode is exact but forfeits hand-off pipelining; here cross-\n"
+        "channel multiplexing masks that cost, which the paper's coarser\n"
+        "single-channel serialization could not."
+    )
+
+
+if __name__ == "__main__":
+    main()

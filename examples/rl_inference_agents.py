@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Reinforcement-learning serving (the paper's Fig. 3 scenario).
+
+In online RL, training workers update parameters on the PS while a fleet
+of *inference agents* repeatedly pulls fresh parameters and runs forward
+passes. Every pull moves the full model through the agent's channel, so
+transfer ordering dominates agent reaction latency.
+
+This example sweeps the agent-fleet size for a policy network (ResNet-50),
+comparing reaction latency (time to finish one pull + forward pass) and
+its tail under no ordering vs TIC, plus the straggler picture when agents
+act in lock-step.
+
+Run:  python examples/rl_inference_agents.py
+"""
+
+import numpy as np
+
+from repro.ps import ClusterSpec
+from repro.sim import SimConfig, simulate_cluster
+
+MODEL = "ResNet-50 v1"
+FLEET_SIZES = (2, 4, 8)
+
+
+def main() -> None:
+    print(f"RL inference agents pulling {MODEL} from 1 PS (envG)\n")
+    config = SimConfig(iterations=8, warmup=2, seed=3)
+    header = (
+        f"{'agents':>6} {'policy':>9} {'latency ms':>11} {'p95 ms':>8} "
+        f"{'agents/s':>9} {'straggler %':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for fleet in FLEET_SIZES:
+        # batch_factor 0.25: agents score small observation batches, not
+        # training-size batches.
+        spec = ClusterSpec(n_workers=fleet, n_ps=1, workload="inference")
+        for algorithm in ("baseline", "tic"):
+            result = simulate_cluster(
+                MODEL, spec, algorithm=algorithm, platform="envG",
+                config=config, batch_factor=0.25,
+            )
+            times_ms = result.iteration_times * 1e3
+            print(
+                f"{fleet:>6} {algorithm:>9} {times_ms.mean():>11.1f} "
+                f"{np.percentile(times_ms, 95):>8.1f} "
+                f"{fleet / result.mean_iteration_time:>9.1f} "
+                f"{result.max_straggler_pct:>11.1f}"
+            )
+        print()
+    print(
+        "Enforced ordering cuts the mean pull-to-decision latency, sharpens\n"
+        "its tail, and keeps lock-step agents aligned — the paper's argument\n"
+        "for scheduling in the PS-serving RL topology (§2, Fig. 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Plain-text rendering: aligned tables, ASCII bar charts, CSV output.
+
+The benchmark harness regenerates each paper table/figure as text — a
+table of the same rows, or a bar/scatter sketch of the same series — plus
+a CSV under ``results/`` for anyone who wants to re-plot properly.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    floatfmt: str = ".2f",
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned monospace table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def fmt(v: object) -> str:
+        if isinstance(v, bool):
+            return str(v)
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    table = [[fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in table)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: Optional[str] = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (non-negative and negative values ok)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return title or ""
+    span = max(abs(v) for v in values) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        n = int(round(abs(v) / span * width))
+        bar = ("#" if v >= 0 else "-") * n
+        lines.append(f"{label.ljust(label_w)} |{bar} {v:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def scatter_sketch(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    rows: int = 14,
+    cols: int = 60,
+    title: Optional[str] = None,
+    marker: str = "*",
+) -> str:
+    """A coarse ASCII scatter plot (for eyeballing Fig. 11/12 shapes)."""
+    if len(x) != len(y) or not x:
+        raise ValueError("x and y must be equal-length, non-empty")
+    xmin, xmax = min(x), max(x)
+    ymin, ymax = min(y), max(y)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * cols for _ in range(rows)]
+    for xi, yi in zip(x, y):
+        c = min(cols - 1, int((xi - xmin) / xspan * (cols - 1)))
+        r = min(rows - 1, int((yi - ymin) / yspan * (rows - 1)))
+        grid[rows - 1 - r][c] = marker
+    lines = [title] if title else []
+    lines.append(f"y: [{ymin:.3g}, {ymax:.3g}]  x: [{xmin:.3g}, {xmax:.3g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * cols)
+    return "\n".join(lines)
+
+
+def write_csv(path: str, rows: Iterable[Mapping[str, object]]) -> str:
+    """Write dict rows to CSV, creating parent directories. Returns path."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError(f"refusing to write empty CSV to {path}")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    cols: list[str] = []
+    for r in rows:
+        for k in r:
+            if k not in cols:
+                cols.append(k)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

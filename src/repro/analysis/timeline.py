@@ -1,0 +1,122 @@
+"""Execution-timeline tooling: ASCII Gantt charts and Chrome-trace export.
+
+Both consume an :class:`~repro.sim.engine.IterationRecord` together with
+the :class:`~repro.sim.engine.CompiledSimulation` that produced it:
+
+* :func:`ascii_gantt` renders per-resource occupancy as text — handy to
+  eyeball why a schedule wins (the paper's Fig. 1b/1c, for real models);
+* :func:`chrome_trace` emits the Chrome/Perfetto ``trace_event`` JSON
+  format (load via chrome://tracing or ui.perfetto.dev), one row per
+  resource, one slice per op.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+import numpy as np
+
+from ..sim.engine import CompiledSimulation, IterationRecord
+
+
+def _op_rows(sim: CompiledSimulation, record: IterationRecord, min_duration: float):
+    """Yield (resource_name, op_name, start, end) for drawable ops."""
+    names = sim.resource_names()
+    g = sim.cluster.graph
+    for op in g:
+        start = float(record.start[op.op_id])
+        end = float(record.end[op.op_id])
+        if not np.isfinite(start) or end - start < min_duration:
+            continue
+        if sim.is_transfer[op.op_id]:
+            resource = names[sim.t_egress[op.op_id]]
+        else:
+            resource = names[sim.op_res[op.op_id]]
+        yield resource, op.name, start, end
+
+
+def ascii_gantt(
+    sim: CompiledSimulation,
+    record: IterationRecord,
+    *,
+    width: int = 80,
+    min_duration_frac: float = 0.002,
+    resources: Optional[list[str]] = None,
+) -> str:
+    """Per-resource occupancy bars over the iteration's time span.
+
+    Ops shorter than ``min_duration_frac`` of the makespan are dropped
+    (thousands of microsecond-scale AUX ops would render as noise).
+    """
+    span = record.makespan or 1.0
+    rows: dict[str, list[str]] = {}
+    for resource, _, start, end in _op_rows(
+        sim, record, min_duration=span * min_duration_frac
+    ):
+        if resources is not None and resource not in resources:
+            continue
+        line = rows.setdefault(resource, [" "] * width)
+        a = min(width - 1, int(start / span * width))
+        b = min(width, max(a + 1, int(end / span * width)))
+        for i in range(a, b):
+            line[i] = "#" if line[i] == " " else "="  # '=' marks overlap
+    label_w = max((len(r) for r in rows), default=0)
+    lines = [f"iteration makespan: {span*1e3:.1f} ms"]
+    for resource in sorted(rows):
+        lines.append(f"{resource.rjust(label_w)} |{''.join(rows[resource])}|")
+    return "\n".join(lines)
+
+
+def chrome_trace(
+    sim: CompiledSimulation,
+    record: IterationRecord,
+    *,
+    min_duration_frac: float = 0.0,
+) -> list[dict]:
+    """Chrome ``trace_event`` objects (phase ``X``, microsecond units).
+
+    Resources map to pids/tids so each gets its own track.
+    """
+    span = record.makespan or 1.0
+    track = {name: i for i, name in enumerate(sorted(sim.resource_names()))}
+    events: list[dict] = []
+    for resource, op_name, start, end in _op_rows(
+        sim, record, min_duration=span * min_duration_frac
+    ):
+        events.append(
+            {
+                "name": op_name,
+                "cat": "transfer" if "->" in op_name or resource.startswith("nic") else "compute",
+                "ph": "X",
+                "ts": start * 1e6,
+                "dur": (end - start) * 1e6,
+                "pid": 0,
+                "tid": track[resource],
+                "args": {"resource": resource},
+            }
+        )
+    # thread-name metadata so the viewer labels tracks by resource
+    for name, tid in track.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    path: str, sim: CompiledSimulation, record: IterationRecord, **kw
+) -> str:
+    """Serialize :func:`chrome_trace` to ``path`` (JSON array format)."""
+    import os
+
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(sim, record, **kw), fh)
+    return path

@@ -1,0 +1,73 @@
+"""The paper's contribution: TIC/TAC scheduling and efficiency theory."""
+
+from .baselines import (
+    layerwise_schedule,
+    no_schedule,
+    random_schedule,
+    reverse_layerwise_schedule,
+)
+from .comparator import RecvProps, precedes, precedes_as_printed
+from .efficiency import (
+    EfficiencyReport,
+    lower_makespan,
+    scheduling_efficiency,
+    theoretical_speedup,
+    upper_makespan,
+)
+from .optimal import (
+    OptimalResult,
+    optimal_schedule,
+    schedule_makespan,
+    simulate_recv_order,
+)
+from .properties import (
+    OpPropertyTables,
+    PropertyEngine,
+    PropertySnapshot,
+    update_properties_reference,
+)
+from .schedules import Schedule
+from .serialization import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from .tac import tac, tic_plus
+from .tic import dense_ranks, tic
+from .wizard import ALGORITHMS, compute_schedule, schedule_model
+
+__all__ = [
+    "layerwise_schedule",
+    "no_schedule",
+    "random_schedule",
+    "reverse_layerwise_schedule",
+    "RecvProps",
+    "precedes",
+    "precedes_as_printed",
+    "OptimalResult",
+    "optimal_schedule",
+    "schedule_makespan",
+    "simulate_recv_order",
+    "EfficiencyReport",
+    "lower_makespan",
+    "scheduling_efficiency",
+    "theoretical_speedup",
+    "upper_makespan",
+    "OpPropertyTables",
+    "PropertyEngine",
+    "PropertySnapshot",
+    "update_properties_reference",
+    "Schedule",
+    "load_schedule",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "tac",
+    "tic_plus",
+    "dense_ranks",
+    "tic",
+    "ALGORITHMS",
+    "compute_schedule",
+    "schedule_model",
+]

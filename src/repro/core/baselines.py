@@ -1,0 +1,59 @@
+"""Baseline schedules the paper compares against (explicitly or implicitly).
+
+* :func:`no_schedule` (re-exported from schedules) — vanilla TensorFlow:
+  no priorities; every worker's executor picks transfer order arbitrarily.
+  This is the paper's baseline in every figure.
+* :func:`random_schedule` — a fixed random permutation enforced at every
+  worker. §6.3 observes that "enforcing any order reduces straggler effect
+  regardless of the quality of the chosen order"; this baseline isolates
+  that effect from order quality.
+* :func:`layerwise_schedule` — parameters in forward-layer (definition)
+  order. This is the natural order for layer-by-layer systems (Poseidon
+  et al., §2.1) lifted to DAG models; a strong heuristic for sequential
+  networks, blind to branch structure.
+* :func:`reverse_layerwise_schedule` — the adversarial order: parameters
+  needed first arrive last. Approaches the worst case of Eq. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .schedules import Schedule, no_schedule
+
+__all__ = [
+    "no_schedule",
+    "random_schedule",
+    "layerwise_schedule",
+    "reverse_layerwise_schedule",
+]
+
+
+def random_schedule(params: Sequence[str], seed: int = 0) -> Schedule:
+    """A uniformly random—but fixed and cluster-wide—priority permutation."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(len(params))
+    return Schedule(
+        algorithm="random",
+        priorities={p: int(perm[i]) for i, p in enumerate(params)},
+        meta={"seed": seed},
+    )
+
+
+def layerwise_schedule(params: Sequence[str]) -> Schedule:
+    """Definition (forward-layer) order: earlier layers' tensors first."""
+    return Schedule(
+        algorithm="layerwise",
+        priorities={p: i for i, p in enumerate(params)},
+    )
+
+
+def reverse_layerwise_schedule(params: Sequence[str]) -> Schedule:
+    """Anti-layer order: an adversarial near-worst-case schedule."""
+    n = len(params)
+    return Schedule(
+        algorithm="reverse_layerwise",
+        priorities={p: n - 1 - i for i, p in enumerate(params)},
+    )

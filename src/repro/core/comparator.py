@@ -1,0 +1,78 @@
+"""TAC's pairwise recv comparator (§4.3, Cases 1-2, Eq. 6).
+
+For two candidate recv ops A and B with directly-dependent compute loads
+``P_A, P_B``, transfer times ``M_A, M_B`` and impending communication
+loads ``M+_A, M+_B``, the makespan algebra of Case 1 gives
+
+    A ≺ B  ⟺  min{P_B, M_A} < min{P_A, M_B}            (Eq. 6)
+
+with Case 2 breaking ties by the impending communication load
+``M+_A < M+_B``.
+
+Note on the paper's Algorithm 3 listing: as printed, its Comparator
+computes ``A ← min(P_A, M_B); B ← min(P_B, M_A); return A < B``, which is
+the *negation* of Eq. 6 — it would schedule Figure 1a's ``recv2`` (zero
+directly-dependent compute) before ``recv1`` and make the toy example come
+out backwards. We treat that as a typesetting slip, implement Eq. 6
+(:func:`precedes`), and keep the printed form available as
+:func:`precedes_as_printed` so the ablation bench can demonstrate the
+inversion.
+
+Note on transitivity: the paper states the comparator "is transitive and
+can be used for partial ordering". The precise situation (pinned down in
+``tests/core/test_comparator.py``):
+
+* the **strict** Eq. 6 preference (``min{P_B,M_A} < min{P_A,M_B}``) shows
+  no cycles on the positive-transfer-time domain (property-tested;
+  3M-sample random search found no 3-cycle);
+* its **ties**, however, are not an equivalence relation compatible with
+  the strict preference: e.g. ``a=(M=2,P=1)``, ``b=(M=1,P=1)``,
+  ``c=(M=1,P=2)`` gives ``a ~ b`` and ``b ~ c`` but ``c ≺ a`` strictly, so
+  chaining ties through an arbitrary tie-break (M+, then index) can form a
+  preference cycle — the relation is not a total preorder in general.
+
+TAC is insensitive to this: Algorithm 3 selects each step's minimum by a
+linear argmin scan (never sorts), which is deterministic and well-defined
+for any binary relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecvProps:
+    """The per-recv property triple the comparator consumes."""
+
+    M: float
+    P: float
+    M_plus: float
+    #: stable id used as the final deterministic tie-break.
+    index: int = 0
+
+
+def precedes(a: RecvProps, b: RecvProps) -> bool:
+    """``True`` iff recv ``a`` should be scheduled before recv ``b`` (Eq. 6),
+    with ties broken by M+ (Case 2) and then by stable index."""
+    x = min(b.P, a.M)
+    y = min(a.P, b.M)
+    if x != y:
+        return x < y
+    if a.M_plus != b.M_plus:
+        return a.M_plus < b.M_plus
+    return a.index < b.index
+
+
+def precedes_as_printed(a: RecvProps, b: RecvProps) -> bool:
+    """The comparator exactly as printed in Algorithm 3 (believed erratum).
+
+    Kept for the comparator ablation; see module docstring.
+    """
+    x = min(a.P, b.M)
+    y = min(b.P, a.M)
+    if x != y:
+        return x < y
+    if a.M_plus != b.M_plus:
+        return a.M_plus < b.M_plus
+    return a.index < b.index

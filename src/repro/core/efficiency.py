@@ -1,0 +1,105 @@
+"""Scheduling-efficiency theory (§3.2, Eq. 1-4).
+
+Given a partitioned graph, per-op measured times and a measured makespan
+``m``, the paper bounds the makespan from above by fully-serialized
+execution (Eq. 1) and from below by perfect resource utilization (Eq. 2),
+and scores the run by where ``m`` falls in that band (Eq. 3):
+
+    E = (U - m) / (U - L)        E=1 perfect ordering, E=0 worst.
+
+Eq. 4's *Speedup* is the width of the band relative to its floor — the
+best-case gain an ideal schedule could deliver over the worst:
+
+    S = (U - L) / L.
+
+Both bounds deliberately ignore DAG dependencies (§3.2), so E is a
+schedule-quality score rather than an achievability statement: L may be
+unreachable when dependencies force idleness, and the paper's own runs
+top out near — but below — 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Union
+
+import numpy as np
+
+from ..graph import Graph, PartitionedGraph
+
+TimesLike = Union[Mapping[int, float], Sequence[float], np.ndarray]
+
+
+def _time_vector(graph: Graph, times: TimesLike) -> np.ndarray:
+    if isinstance(times, Mapping):
+        vec = np.zeros(len(graph))
+        for op_id, t in times.items():
+            vec[op_id] = t
+    else:
+        vec = np.asarray(times, dtype=float)
+        if vec.shape != (len(graph),):
+            raise ValueError(
+                f"times vector has shape {vec.shape}, expected ({len(graph)},)"
+            )
+    if np.any(vec < 0):
+        raise ValueError("negative op times")
+    return vec
+
+
+def upper_makespan(graph: Graph, times: TimesLike) -> float:
+    """Eq. 1: fully serialized execution — Σ Time(op) over all ops."""
+    return float(_time_vector(graph, times).sum())
+
+
+def lower_makespan(partition: PartitionedGraph, times: TimesLike) -> float:
+    """Eq. 2: perfect overlap — max over resources of that resource's load."""
+    vec = _time_vector(partition.graph, times)
+    best = 0.0
+    for resource in partition.resources:
+        load = float(sum(vec[op.op_id] for op in partition.ops_on(resource)))
+        if load > best:
+            best = load
+    return best
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """E, S and the band they derive from, for one measured iteration."""
+
+    makespan: float
+    upper: float
+    lower: float
+
+    @property
+    def efficiency(self) -> float:
+        """Eq. 3. Degenerate bands (U == L: a single loaded resource) score
+        1.0 — there is nothing scheduling could win or lose."""
+        if self.upper == self.lower:
+            return 1.0
+        return (self.upper - self.makespan) / (self.upper - self.lower)
+
+    @property
+    def speedup(self) -> float:
+        """Eq. 4: max theoretical gain of best over worst schedule."""
+        if self.lower == 0.0:
+            return 0.0
+        return (self.upper - self.lower) / self.lower
+
+
+def scheduling_efficiency(
+    partition: PartitionedGraph, times: TimesLike, makespan: float
+) -> EfficiencyReport:
+    """Score one measured iteration (Eq. 1-4) from its per-op times."""
+    if makespan < 0:
+        raise ValueError("makespan must be non-negative")
+    graph = partition.graph
+    return EfficiencyReport(
+        makespan=float(makespan),
+        upper=upper_makespan(graph, times),
+        lower=lower_makespan(partition, times),
+    )
+
+
+def theoretical_speedup(partition: PartitionedGraph, times: TimesLike) -> float:
+    """Eq. 4 directly from a partition and an op-time assignment."""
+    return scheduling_efficiency(partition, times, makespan=0.0).speedup

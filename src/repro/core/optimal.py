@@ -1,0 +1,151 @@
+"""Exact schedule evaluation and brute-force optimal ordering.
+
+The scheduling problem is NP-hard (§3.1 maps it to flow-shop makespan
+minimization), so the paper offers heuristics and a *metric* instead of an
+optimum. On small DAGs, however, the optimum is computable by exhausting
+recv permutations — which lets tests quantify how close TIC/TAC actually
+get ("near-optimal scheduling", §1) instead of taking it on faith.
+
+The execution model here is the deterministic single-worker idealization
+used throughout §3/§4: one communication channel executing the recv ops in
+the given order, one compute resource executing ready ops
+earliest-ready-first, no latency, no jitter. It is intentionally simpler
+than :mod:`repro.sim` (no chunking, NIC sharing or enforcement) — the
+algebra of Eq. 6 is derived for exactly this model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..graph import Graph
+from ..timing import TimeOracle, TimeOracleLike
+from .schedules import Schedule
+
+
+def simulate_recv_order(
+    graph: Graph, time: TimeOracleLike, recv_order: Sequence[int]
+) -> float:
+    """Makespan of the single-worker model under a fixed recv order.
+
+    ``recv_order`` lists recv op ids in transfer order; it must be a
+    permutation of the graph's recv ops. Compute ops run on one resource,
+    earliest-ready-first (ties by op id). Returns the makespan.
+    """
+    oracle = TimeOracle.wrap(time)
+    recv_ids = [op.op_id for op in graph.recv_ops()]
+    if sorted(recv_order) != sorted(recv_ids):
+        raise ValueError("recv_order must be a permutation of the recv ops")
+    t = {op.op_id: oracle(op) for op in graph}
+    indeg = {op.op_id: graph.in_degree(op.op_id) for op in graph}
+
+    # Channel: recvs back to back in the given order; finish times known.
+    finish: dict[int, float] = {}
+    clock = 0.0
+    for rid in recv_order:
+        clock += t[rid]
+        finish[rid] = clock
+    makespan = clock
+
+    # Compute resource: list scheduling, earliest-ready-first (ties by id).
+    ready_time = {op.op_id: 0.0 for op in graph if not op.is_recv}
+    heap: list[tuple[float, int]] = []
+
+    def propagate(op_id: int, done_at: float) -> None:
+        for succ in graph.succ_ids(op_id):
+            if ready_time.get(succ, -1.0) < done_at:
+                ready_time[succ] = done_at
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                heapq.heappush(heap, (ready_time[succ], succ))
+
+    # Enqueue initial roots first: propagate() only pushes ops whose indeg
+    # it decrements to zero, so doing roots before recv release avoids
+    # double-pushing compute ops that depend solely on recvs.
+    for op in graph:
+        if not op.is_recv and indeg[op.op_id] == 0:
+            heapq.heappush(heap, (0.0, op.op_id))
+    for rid in recv_order:  # recv finish times are fixed; release eagerly
+        propagate(rid, finish[rid])
+
+    compute_clock = 0.0
+    n_compute = len(ready_time)
+    done = 0
+    while heap:
+        rt, op_id = heapq.heappop(heap)
+        start = max(compute_clock, rt)
+        compute_clock = start + t[op_id]
+        finish[op_id] = compute_clock
+        done += 1
+        if compute_clock > makespan:
+            makespan = compute_clock
+        propagate(op_id, compute_clock)
+    if done != n_compute:  # pragma: no cover - DAG guarantees progress
+        raise RuntimeError("deadlock in schedule simulation")
+    return makespan
+
+
+def schedule_makespan(
+    graph: Graph, time: TimeOracleLike, schedule: Schedule
+) -> float:
+    """Makespan of a :class:`Schedule` under the single-worker model."""
+    by_param = {op.param: op.op_id for op in graph.recv_ops()}
+    order = [by_param[p] for p in schedule.order(list(by_param))]
+    return simulate_recv_order(graph, time, order)
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """Outcome of the exhaustive search."""
+
+    best_order: tuple[int, ...]
+    best_makespan: float
+    worst_makespan: float
+    n_evaluated: int
+
+    def optimality_gap(self, makespan: float) -> float:
+        """Relative gap of ``makespan`` vs the optimum (0 = optimal)."""
+        if self.best_makespan == 0:
+            return 0.0
+        return makespan / self.best_makespan - 1.0
+
+
+def optimal_schedule(
+    graph: Graph,
+    time: TimeOracleLike,
+    *,
+    max_recvs: int = 8,
+) -> OptimalResult:
+    """Exhaustively find the best (and worst) recv order.
+
+    Refuses graphs with more than ``max_recvs`` recv ops (the paper notes
+    ResNet-v2-152 would need 363! evaluations — that is the point).
+    """
+    recv_ids = [op.op_id for op in graph.recv_ops()]
+    n = len(recv_ids)
+    if n > max_recvs:
+        raise ValueError(
+            f"{n} recv ops => {math.factorial(n)} orders; "
+            f"raise max_recvs explicitly if you really mean it"
+        )
+    best: Optional[tuple[float, tuple[int, ...]]] = None
+    worst = 0.0
+    count = 0
+    for perm in itertools.permutations(recv_ids):
+        makespan = simulate_recv_order(graph, time, perm)
+        count += 1
+        if best is None or makespan < best[0]:
+            best = (makespan, perm)
+        if makespan > worst:
+            worst = makespan
+    assert best is not None
+    return OptimalResult(
+        best_order=best[1],
+        best_makespan=best[0],
+        worst_makespan=worst,
+        n_evaluated=count,
+    )

@@ -1,0 +1,165 @@
+"""Op properties and Algorithm 1 ("Property Update Algorithm", §4.1).
+
+Given a partitioned graph ``G``, a time oracle and the set ``R`` of
+outstanding (to-be-activated) recv ops, Algorithm 1 computes:
+
+* ``op.M`` — *communication time*: total outstanding transfer time the op
+  still waits for, ``Σ_{r ∈ op.dep ∩ R} Time(r)``;
+* ``recv.P`` — *directly-dependent compute load*: total compute time of
+  ops activated by completing this recv alone (ops whose only outstanding
+  dependency is this recv);
+* ``recv.M+`` — *impending communication load*: the minimum communication
+  cost that, together with this recv, activates some multi-dependency op
+  (``min`` over ops with ``|dep ∩ R| > 1`` of ``op.M``); ``+inf`` when no
+  such op exists.
+
+Two implementations are provided:
+
+* :func:`update_properties_reference` — a literal transcription of
+  Algorithm 1 over Python sets. Easy to audit against the paper; used by
+  tests as the oracle implementation.
+* :class:`PropertyEngine` — a vectorized equivalent over a dense
+  ``(n_ops, n_recv)`` dependency matrix. TAC calls it once per scheduling
+  step (so |recv| times per model); on ResNet-101-sized graphs the dense
+  form is two orders of magnitude faster than the set form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..graph import Graph, Op, dependency_matrix, dependency_sets
+from ..timing import TimeOracle, TimeOracleLike
+
+INF = float("inf")
+
+
+@dataclass
+class OpPropertyTables:
+    """Algorithm 1's outputs, keyed by op id (reference implementation)."""
+
+    #: op id -> M (all ops).
+    M: dict[int, float]
+    #: recv op id -> P (outstanding recvs only).
+    P: dict[int, float]
+    #: recv op id -> M+ (outstanding recvs only).
+    M_plus: dict[int, float]
+
+
+def update_properties_reference(
+    graph: Graph,
+    time: TimeOracleLike,
+    outstanding: Iterable[int],
+) -> OpPropertyTables:
+    """Literal Algorithm 1. ``outstanding`` holds recv op ids (the set R)."""
+    oracle = TimeOracle.wrap(time)
+    R = set(outstanding)
+    recv_ids = {op.op_id for op in graph.recv_ops()}
+    if not R <= recv_ids:
+        raise ValueError(f"outstanding contains non-recv ops: {sorted(R - recv_ids)[:3]}")
+    dep = dependency_sets(graph)
+    t = {op.op_id: oracle(op) for op in graph}
+
+    # Line 2-4: op.M for every op.
+    M = {op.op_id: sum(t[r] for r in dep[op.op_id] & R) for op in graph}
+    # Line 5-8: initialize P and M+ for outstanding recvs.
+    P = {r: 0.0 for r in R}
+    M_plus = {r: INF for r in R}
+    # Line 9-17: accumulate over ops outside R.
+    for op in graph:
+        if op.op_id in R:
+            continue
+        D = dep[op.op_id] & R
+        if len(D) == 1:
+            (r,) = D
+            P[r] += t[op.op_id]
+        elif len(D) > 1:
+            for r in D:
+                M_plus[r] = min(M_plus[r], M[op.op_id])
+    return OpPropertyTables(M=M, P=P, M_plus=M_plus)
+
+
+@dataclass
+class PropertySnapshot:
+    """Vectorized Algorithm 1 outputs for one outstanding set.
+
+    Arrays are indexed by *recv index* (column order of the dependency
+    matrix), except ``M`` which is per op id. Entries for non-outstanding
+    recvs are meaningless (P/M+) — consult ``outstanding``.
+    """
+
+    outstanding: np.ndarray  # bool[n_recv]
+    M: np.ndarray  # float[n_ops]
+    P: np.ndarray  # float[n_recv]
+    M_plus: np.ndarray  # float[n_recv]
+    recv_time: np.ndarray  # float[n_recv] — Time(recv_k), the recv's own M
+
+
+class PropertyEngine:
+    """Precomputes dependency structure once; updates properties per step."""
+
+    def __init__(self, graph: Graph, time: TimeOracleLike) -> None:
+        self.graph = graph
+        self.recv_ops: list[Op] = graph.recv_ops()
+        self.n_recv = len(self.recv_ops)
+        self.recv_op_ids = np.array([op.op_id for op in self.recv_ops], dtype=np.int64)
+        oracle = TimeOracle.wrap(time)
+        self.time = oracle.vector(graph)
+        if np.any(self.time < 0):
+            raise ValueError("time oracle produced negative durations")
+        self.dep = dependency_matrix(graph, self.recv_ops)
+        self.recv_time = self.time[self.recv_op_ids]
+        # Rows that are not recv ops (the G - R iteration of Algorithm 1 is
+        # over non-outstanding ops; completed recvs have empty dep ∩ R, so
+        # excluding *all* recv rows is equivalent and cheaper).
+        n_ops = len(graph)
+        self._non_recv_rows = np.ones(n_ops, dtype=bool)
+        self._non_recv_rows[self.recv_op_ids] = False
+        # Sparse (row, col) indices of the dependency matrix, restricted to
+        # non-recv rows, for the scatter-min computing M+.
+        rows, cols = np.nonzero(self.dep & self._non_recv_rows[:, None])
+        self._nz_rows = rows
+        self._nz_cols = cols
+
+    def update(self, outstanding: np.ndarray) -> PropertySnapshot:
+        """Run Algorithm 1 for the given outstanding mask (bool[n_recv])."""
+        out = np.asarray(outstanding, dtype=bool)
+        if out.shape != (self.n_recv,):
+            raise ValueError(f"outstanding mask must have shape ({self.n_recv},)")
+        # M: total outstanding transfer time below each op.
+        M = self.dep[:, out] @ self.recv_time[out] if out.any() else np.zeros(len(self.time))
+        counts = self.dep[:, out].sum(axis=1) if out.any() else np.zeros(len(self.time), dtype=int)
+
+        P = np.zeros(self.n_recv)
+        M_plus = np.full(self.n_recv, INF)
+        if out.any():
+            # P: ops (outside R) with exactly one outstanding dependency.
+            single = self._non_recv_rows & (counts == 1)
+            if single.any():
+                masked = self.dep[single][:, out]
+                which = masked.argmax(axis=1)  # index within outstanding cols
+                out_cols = np.flatnonzero(out)
+                np.add.at(P, out_cols[which], self.time[single])
+            # M+: scatter-min of op.M over multi-dependency ops.
+            multi = self._non_recv_rows & (counts > 1)
+            if multi.any():
+                sel = multi[self._nz_rows] & out[self._nz_cols]
+                np.minimum.at(M_plus, self._nz_cols[sel], M[self._nz_rows[sel]])
+        return PropertySnapshot(
+            outstanding=out, M=M, P=P, M_plus=M_plus, recv_time=self.recv_time
+        )
+
+    def full_snapshot(self) -> PropertySnapshot:
+        """Properties with every recv outstanding (TIC's single evaluation)."""
+        return self.update(np.ones(self.n_recv, dtype=bool))
+
+    def recv_index_of(self, op_ref) -> int:
+        """Dense recv index of a recv op (id/name/Op)."""
+        op = self.graph.op(op_ref)
+        idx = np.flatnonzero(self.recv_op_ids == op.op_id)
+        if idx.size == 0:
+            raise KeyError(f"{op.name!r} is not a recv op of this graph")
+        return int(idx[0])

@@ -1,0 +1,66 @@
+"""Schedule objects: priority assignments over a worker's recv ops.
+
+A schedule maps each parameter (equivalently, each recv op of the worker
+partition — they are 1:1) to a *priority number*: lower numbers transfer
+earlier (§3.1). Multiple parameters may share a priority (their relative
+order is insignificant); parameters may be missing (unprioritized — the
+executor treats them like lowest-priority ops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A priority assignment produced by the ordering wizard.
+
+    Attributes
+    ----------
+    algorithm:
+        Provenance label (``'tic'``, ``'tac'``, ``'baseline'``, ...).
+    priorities:
+        Parameter name -> priority number (lower = earlier). Empty for the
+        no-scheduling baseline.
+    meta:
+        Free-form diagnostics (wizard runtime, oracle description, ...).
+    """
+
+    algorithm: str
+    priorities: Mapping[str, int] = field(default_factory=dict)
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for p, pr in self.priorities.items():
+            if pr < 0:
+                raise ValueError(f"negative priority {pr} for {p!r}")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.priorities
+
+    def order(self, params: Optional[Sequence[str]] = None) -> list[str]:
+        """Parameters sorted by priority (stable within equal priorities).
+
+        ``params`` restricts/orders the domain (e.g. the parameters hosted
+        on one PS shard); defaults to every prioritized parameter.
+        """
+        if params is None:
+            params = list(self.priorities)
+        known = [p for p in params if p in self.priorities]
+        unknown = [p for p in params if p not in self.priorities]
+        return sorted(known, key=lambda p: self.priorities[p]) + unknown
+
+    def normalized(self, params: Sequence[str]) -> dict[str, int]:
+        """Dense ranks ``0..n-1`` over ``params`` (§5.1's normalization:
+        "priorities are sequentially assigned to an integer in the range
+        [0, n)" per channel). Ties collapse to distinct consecutive ranks
+        in stable order; unprioritized parameters rank last."""
+        return {p: i for i, p in enumerate(self.order(params))}
+
+
+def no_schedule() -> Schedule:
+    """The baseline: no priorities — the executor's arbitrary order."""
+    return Schedule(algorithm="baseline")

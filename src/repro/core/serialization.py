@@ -1,0 +1,67 @@
+"""Schedule persistence.
+
+The paper's deployment computes the priority list offline, once per
+(model, cluster shape), and ships it to the enforcement module of every
+job. That implies a serialized artifact; this module defines it: a small
+JSON document with the algorithm name, the priority table and provenance
+metadata, versioned for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from .schedules import Schedule
+
+FORMAT_VERSION = 1
+
+
+def schedule_to_dict(schedule: Schedule) -> dict:
+    """Plain-dict form of a schedule (stable key order for diffing)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "algorithm": schedule.algorithm,
+        "priorities": {k: int(v) for k, v in sorted(schedule.priorities.items())},
+        "meta": {
+            k: v
+            for k, v in schedule.meta.items()
+            if isinstance(v, (str, int, float, bool)) or v is None
+        },
+    }
+
+
+def schedule_from_dict(data: dict) -> Schedule:
+    """Inverse of :func:`schedule_to_dict`; validates the envelope."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported schedule format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    if "algorithm" not in data or "priorities" not in data:
+        raise ValueError("schedule document missing 'algorithm'/'priorities'")
+    priorities = data["priorities"]
+    if not all(isinstance(v, int) and v >= 0 for v in priorities.values()):
+        raise ValueError("priorities must be non-negative integers")
+    return Schedule(
+        algorithm=str(data["algorithm"]),
+        priorities=dict(priorities),
+        meta=dict(data.get("meta", {})),
+    )
+
+
+def save_schedule(path: Union[str, os.PathLike], schedule: Schedule) -> str:
+    """Write a schedule JSON document; returns the path."""
+    path = os.fspath(path)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(schedule_to_dict(schedule), fh, indent=2, sort_keys=True)
+    return path
+
+
+def load_schedule(path: Union[str, os.PathLike]) -> Schedule:
+    """Read a schedule JSON document written by :func:`save_schedule`."""
+    with open(os.fspath(path)) as fh:
+        return schedule_from_dict(json.load(fh))

@@ -1,0 +1,58 @@
+"""TIC — Timing-Independent Communication scheduling (Algorithm 2).
+
+TIC runs Algorithm 1 once, under the general time oracle of Eq. 5
+(``Time(op) = 1`` for recv ops, 0 otherwise), with every recv outstanding,
+and uses each recv's impending communication load ``M+`` as its priority:
+recvs whose completion (together with the fewest sibling transfers)
+unblocks some computation earliest come first.
+
+Because only ops with more than one outstanding recv dependency tighten
+``M+`` (Algorithm 1 line 14-16), a recv none of whose downstream ops have
+multiple recv dependencies keeps ``M+ = +inf``; Algorithm 2 as published
+leaves such recvs with the worst priority, and so do we (the ``tic_plus``
+variant in :mod:`repro.core.tac` closes this gap as an extension ablation).
+
+Priorities are normalized to dense ranks, preserving the paper's semantics
+that recvs with equal ``M+`` share a priority number (their relative order
+is insignificant, §3.1).
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+import numpy as np
+
+from ..graph import Graph
+from ..timing import GeneralTimeOracle
+from .properties import PropertyEngine
+from .schedules import Schedule
+
+
+def dense_ranks(values: np.ndarray) -> np.ndarray:
+    """Map values to dense ranks 0..k-1; equal values share a rank and
+    ``+inf`` maps to the last rank."""
+    order = np.unique(values)  # sorted, +inf (if present) last
+    return np.searchsorted(order, values).astype(int)
+
+
+def tic(graph: Graph) -> Schedule:
+    """Compute the TIC schedule for a reference worker partition."""
+    t0 = _time.perf_counter()
+    engine = PropertyEngine(graph, GeneralTimeOracle())
+    snap = engine.full_snapshot()
+    ranks = dense_ranks(snap.M_plus)
+    priorities = {
+        op.param: int(ranks[k]) for k, op in enumerate(engine.recv_ops)
+    }
+    n_unranked = int(np.sum(np.isinf(snap.M_plus)))
+    return Schedule(
+        algorithm="tic",
+        priorities=priorities,
+        meta={
+            "wizard_seconds": _time.perf_counter() - t0,
+            "n_recv": engine.n_recv,
+            "n_priority_groups": int(ranks.max()) + 1 if len(ranks) else 0,
+            "n_infinite_m_plus": n_unranked,
+        },
+    )

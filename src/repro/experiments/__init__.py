@@ -1,0 +1,23 @@
+"""Experiment drivers: one module per table/figure of the evaluation."""
+
+from .common import (
+    FIG7_MODELS,
+    FULL,
+    QUICK,
+    Context,
+    ExperimentOutput,
+    Scale,
+    make_context,
+    ps_for_workers,
+)
+
+__all__ = [
+    "FIG7_MODELS",
+    "FULL",
+    "QUICK",
+    "Context",
+    "ExperimentOutput",
+    "Scale",
+    "make_context",
+    "ps_for_workers",
+]

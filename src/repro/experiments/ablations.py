@@ -1,0 +1,120 @@
+"""Ablations beyond the paper's figures — the design choices §5.1 argues
+for in prose, made measurable:
+
+* **enforcement point** — sender-side counters (deployed) vs the idealized
+  ready-queue semantics vs DAG-dependency chaining (the strawman §5.1
+  rejects because it forfeits pipelining) vs no enforcement;
+* **comparator erratum** — Eq. 6 vs Algorithm 3's comparator as printed
+  (inverted; see :mod:`repro.core.comparator`);
+* **TIC vs TIC+** — single-shot Algorithm 2 vs the iterative
+  timing-independent variant;
+* **oracle quality** — TAC under the min-of-5 estimated oracle vs the
+  exact oracle vs a heavily perturbed one;
+* **gRPC reorder noise** — sensitivity of gains to residual reordering;
+* **sharding strategy** — greedy-by-bytes vs round-robin placement.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.comparator import precedes_as_printed
+from ..core.tac import tac
+from ..ps import ClusterSpec, build_reference_partition
+from ..models import build_model
+from ..sim import simulate_cluster
+from ..timing import ENV_G, PerturbedOracle, estimate_time_oracle
+from .common import Context, ExperimentOutput, finish, render_rows
+
+MODEL = "ResNet-50 v1"
+WORKERS, PS = 4, 1
+
+
+def _throughput(ctx: Context, ir, spec, *, schedule=None, algorithm="baseline",
+                config=None) -> float:
+    result = simulate_cluster(
+        ir, spec, algorithm=algorithm, schedule=schedule, platform="envG",
+        config=config or ctx.sim_config(),
+    )
+    return result.throughput
+
+
+def run(ctx: Context) -> ExperimentOutput:
+    t0 = time.perf_counter()
+    ir = build_model(MODEL)
+    spec = ClusterSpec(n_workers=WORKERS, n_ps=PS, workload="training")
+    rows = []
+
+    base_tp = _throughput(ctx, ir, spec, algorithm="baseline")
+
+    def add(group: str, variant: str, tp: float) -> None:
+        rows.append(
+            {
+                "group": group,
+                "variant": variant,
+                "throughput_sps": round(tp, 1),
+                "vs_baseline_pct": round((tp - base_tp) / base_tp * 100, 1),
+            }
+        )
+
+    add("enforcement", "none (baseline)", base_tp)
+    for mode in ("sender", "ready_queue", "dag"):
+        tp = _throughput(
+            ctx, ir, spec, algorithm="tic",
+            config=ctx.sim_config(enforcement=mode),
+        )
+        add("enforcement", mode, tp)
+
+    # --- comparator erratum ---------------------------------------------
+    reference = build_reference_partition(ir, workload="training", n_ps=PS)
+    oracle = estimate_time_oracle(reference.graph, ENV_G, seed=ctx.seed)
+    sched_eq6 = tac(reference.graph, oracle)
+    sched_printed = tac(
+        reference.graph, oracle, comparator=precedes_as_printed,
+        algorithm_name="tac_as_printed",
+    )
+    add("comparator", "tac (Eq. 6)", _throughput(ctx, ir, spec, schedule=sched_eq6))
+    add("comparator", "tac (as printed)",
+        _throughput(ctx, ir, spec, schedule=sched_printed))
+
+    # --- TIC vs TIC+ -------------------------------------------------------
+    for algo in ("tic", "tic_plus"):
+        add("tic_variant", algo, _throughput(ctx, ir, spec, algorithm=algo))
+
+    # --- oracle quality ----------------------------------------------------
+    add("oracle", "estimated (min of 5)",
+        _throughput(ctx, ir, spec, schedule=sched_eq6))
+    exact = tac(reference.graph, ENV_G.oracle(), algorithm_name="tac_exact")
+    add("oracle", "exact", _throughput(ctx, ir, spec, schedule=exact))
+    noisy = tac(
+        reference.graph, PerturbedOracle(oracle, sigma=1.0, seed=ctx.seed),
+        algorithm_name="tac_noisy",
+    )
+    add("oracle", "perturbed (sigma=1.0)", _throughput(ctx, ir, spec, schedule=noisy))
+
+    # --- reorder-noise sensitivity -----------------------------------------
+    for prob in (0.0, 0.005, 0.05):
+        tp = _throughput(
+            ctx, ir, spec, algorithm="tic",
+            config=ctx.sim_config(grpc_reorder_prob=prob),
+        )
+        add("grpc_noise", f"p={prob}", tp)
+
+    # --- sharding strategy ---------------------------------------------------
+    for strategy in ("greedy", "round_robin"):
+        spec_s = ClusterSpec(n_workers=WORKERS, n_ps=2, workload="training",
+                             sharding=strategy)
+        tp = _throughput(ctx, ir, spec_s, algorithm="tic")
+        rows.append(
+            {
+                "group": "sharding",
+                "variant": strategy,
+                "throughput_sps": round(tp, 1),
+                "vs_baseline_pct": float("nan"),
+            }
+        )
+
+    text = render_rows(
+        rows, f"Ablations ({MODEL}, training, {WORKERS} workers, envG)"
+    )
+    return finish(ctx, "ablations", rows, text, t0=t0)

@@ -1,0 +1,99 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.experiments table1 fig7 fig12      # selected drivers
+    python -m repro.experiments all --full             # the whole paper
+    tictac-repro fig13 --results-dir out/              # console script
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from . import (
+    ablations,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    headline,
+    motivation,
+    pipelining,
+    stragglers,
+    table1,
+)
+from .common import Context, ExperimentOutput, make_context
+
+DRIVERS: dict[str, Callable[[Context], ExperimentOutput]] = {
+    "table1": table1.run,
+    "motivation": motivation.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "headline": headline.run,
+    "ablations": ablations.run,
+    "stragglers": stragglers.run,
+    "pipelining": pipelining.run,
+}
+
+#: 'all' runs everything in the paper's presentation order.
+ORDER = (
+    "table1",
+    "motivation",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "headline",
+    "ablations",
+    "stragglers",
+    "pipelining",
+)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tictac-repro",
+        description="Regenerate the tables and figures of the TicTac paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(DRIVERS) + ["all"],
+        help="which drivers to run ('all' for every table/figure)",
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale protocol (slow); default is quick scale")
+    parser.add_argument("--results-dir", default="results")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    ctx = make_context(
+        full=True if args.full else None,
+        results_dir=args.results_dir,
+        seed=args.seed,
+        verbose=not args.quiet,
+    )
+    names = list(ORDER) if "all" in args.experiments else args.experiments
+    for name in names:
+        ctx.log(f"=== {name} (scale={ctx.scale.name}) ===")
+        DRIVERS[name](ctx)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Shared experiment infrastructure.
+
+Every driver runs at one of two scales:
+
+* ``quick`` (default) — a representative subset sized for CI / the
+  benchmark suite: fewer models, fewer worker counts, fewer iterations.
+* ``full`` — the paper's protocol (all models, workers 1..16, 10 recorded
+  iterations after 2 warm-up, 1000-run consistency study). Select with
+  ``REPRO_SCALE=full`` or ``--full`` on the CLI.
+
+Results (CSV + rendered text) land under ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..analysis import format_table, write_csv
+from ..sim import SimConfig
+
+#: Fig. 7's model set (the paper's nine; Table 1 lists ten — ResNet-101 v2
+#: appears only in Table 1).
+FIG7_MODELS: tuple[str, ...] = (
+    "Inception v1",
+    "VGG-19",
+    "Inception v2",
+    "AlexNet v2",
+    "VGG-16",
+    "ResNet-50 v1",
+    "ResNet-50 v2",
+    "Inception v3",
+    "ResNet-101 v1",
+)
+
+QUICK_MODELS: tuple[str, ...] = (
+    "Inception v1",
+    "AlexNet v2",
+    "VGG-16",
+    "ResNet-50 v1",
+)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs that differ between quick and full runs."""
+
+    name: str
+    models: tuple[str, ...]
+    worker_counts: tuple[int, ...]
+    ps_counts: tuple[int, ...]
+    iterations: int
+    warmup: int
+    consistency_runs: int  # Fig. 12's run count
+    loss_iterations: int  # Fig. 8's SGD steps
+
+
+QUICK = Scale(
+    name="quick",
+    models=QUICK_MODELS,
+    worker_counts=(2, 4, 8),
+    ps_counts=(1, 2),
+    iterations=4,
+    warmup=1,
+    consistency_runs=80,
+    loss_iterations=150,
+)
+
+FULL = Scale(
+    name="full",
+    models=FIG7_MODELS,
+    worker_counts=(1, 2, 4, 8, 16),
+    ps_counts=(1, 2, 4),
+    iterations=10,
+    warmup=2,
+    consistency_runs=1000,
+    loss_iterations=500,
+)
+
+
+@dataclass
+class Context:
+    """Execution context handed to every experiment driver."""
+
+    scale: Scale = field(default_factory=lambda: QUICK)
+    results_dir: str = "results"
+    seed: int = 0
+    verbose: bool = True
+
+    def sim_config(self, **overrides) -> SimConfig:
+        base = dict(
+            seed=self.seed,
+            iterations=self.scale.iterations,
+            warmup=self.scale.warmup,
+        )
+        base.update(overrides)
+        return SimConfig(**base)
+
+    def log(self, message: str) -> None:
+        if self.verbose:
+            print(message, flush=True)
+
+
+def make_context(
+    full: Optional[bool] = None, results_dir: str = "results", **kwargs
+) -> Context:
+    """Build a context; ``full=None`` consults ``REPRO_SCALE``/``REPRO_FULL``."""
+    if full is None:
+        env = os.environ.get("REPRO_SCALE", "").lower()
+        full = env == "full" or os.environ.get("REPRO_FULL", "") == "1"
+    return Context(scale=FULL if full else QUICK, results_dir=results_dir, **kwargs)
+
+
+@dataclass
+class ExperimentOutput:
+    """Uniform driver result: rows + rendered text + artifact paths."""
+
+    name: str
+    rows: list[dict]
+    text: str
+    csv_path: Optional[str] = None
+    extras: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def finish(
+    ctx: Context,
+    name: str,
+    rows: Sequence[Mapping[str, object]],
+    text: str,
+    *,
+    t0: float,
+    extras: Optional[dict] = None,
+) -> ExperimentOutput:
+    """Persist rows as CSV and assemble the driver output."""
+    csv_path = write_csv(os.path.join(ctx.results_dir, f"{name}.csv"), rows)
+    out = ExperimentOutput(
+        name=name,
+        rows=list(rows),
+        text=text,
+        csv_path=csv_path,
+        extras=extras or {},
+        elapsed_s=time.perf_counter() - t0,
+    )
+    ctx.log(text)
+    ctx.log(f"[{name}] {len(out.rows)} rows -> {csv_path} ({out.elapsed_s:.1f}s)")
+    return out
+
+
+def ps_for_workers(n_workers: int) -> int:
+    """Fig. 7 keeps PS:workers at 1:4 (at least one PS)."""
+    return max(1, n_workers // 4)
+
+
+def render_rows(rows: Sequence[Mapping[str, object]], title: str, **kw) -> str:
+    return format_table(rows, title=title, **kw)

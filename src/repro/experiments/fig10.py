@@ -1,0 +1,47 @@
+"""Fig. 10 — speedup vs. computational load (batch-size factor).
+
+Each model runs at its standard batch size scaled by x0.5 / x1 / x2
+(envG, 4 workers, inference — the paper's Fig. 10 setting). Scaling batch
+size moves the communication/computation ratio: when communication
+dominates, a bigger batch increases overlap opportunity and scheduling
+gains; when computation already dominates, gains shrink.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..ps import ClusterSpec
+from ..sim import speedup_vs_baseline
+from .common import Context, ExperimentOutput, finish, render_rows
+
+BATCH_FACTORS = (0.5, 1.0, 2.0)
+
+
+def run(ctx: Context, *, algorithm: str = "tic", n_workers: int = 4) -> ExperimentOutput:
+    t0 = time.perf_counter()
+    rows = []
+    for model in ctx.scale.models:
+        for factor in BATCH_FACTORS:
+            spec = ClusterSpec(n_workers=n_workers, n_ps=1, workload="inference")
+            gain, sched, base = speedup_vs_baseline(
+                model, spec, algorithm=algorithm, platform="envG",
+                config=ctx.sim_config(), batch_factor=factor,
+            )
+            rows.append(
+                {
+                    "model": model,
+                    "batch_factor": factor,
+                    "batch": sched.batch_size,
+                    "baseline_sps": round(base.throughput, 1),
+                    f"{algorithm}_sps": round(sched.throughput, 1),
+                    "speedup_pct": round(gain, 1),
+                }
+            )
+            ctx.log(f"  fig10 {model} x{factor}: {gain:+.1f}%")
+    text = render_rows(
+        rows,
+        f"Fig. 10: speedup of {algorithm.upper()} vs baseline under batch-size "
+        f"scaling (envG, {n_workers} workers, inference)",
+    )
+    return finish(ctx, "fig10_batch_scaling", rows, text, t0=t0)

@@ -1,0 +1,66 @@
+"""Fig. 11 — scheduling efficiency and straggler effect vs. model size.
+
+Samples every (model, workload) pair in envG with and without TIC and
+plots (a) the Eq. 3 efficiency metric and (b) straggler time percentage
+against the number of ops per worker.
+
+Shape targets: with TIC the efficiency metric approaches 1 across all
+sizes while the baseline scatters lower; baseline straggler percentages
+reach tens of percent and grow with op count, while any enforced order
+compresses them (the paper quotes up to 2.3x reduction).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..models import build_model, emit_graph
+from ..models.emit import WORKER_INFERENCE, WORKER_TRAINING
+from ..ps import ClusterSpec, build_cluster_graph, shard_parameters
+from ..sim import simulate_cluster
+from .common import Context, ExperimentOutput, finish, ps_for_workers, render_rows
+
+
+def ops_per_worker(model: str, workload: str) -> int:
+    """Worker-partition op count (Fig. 11's x axis)."""
+    ir = build_model(model)
+    placement = shard_parameters(ir.params, ["ps:0"])
+    mode = WORKER_TRAINING if workload == "training" else WORKER_INFERENCE
+    return len(emit_graph(ir, mode, placement=placement).graph)
+
+
+def run(ctx: Context, *, n_workers: int = 4) -> ExperimentOutput:
+    t0 = time.perf_counter()
+    rows = []
+    spec_ps = ps_for_workers(n_workers)
+    for workload in ("inference", "training"):
+        for model in ctx.scale.models:
+            spec = ClusterSpec(n_workers=n_workers, n_ps=spec_ps, workload=workload)
+            ir = build_model(model)
+            cluster = build_cluster_graph(ir, spec)
+            n_ops = ops_per_worker(model, workload)
+            for algorithm in ("baseline", "tic"):
+                result = simulate_cluster(
+                    ir, spec, algorithm=algorithm, platform="envG",
+                    config=ctx.sim_config(), cluster=cluster,
+                )
+                rows.append(
+                    {
+                        "model": model,
+                        "workload": workload,
+                        "algorithm": algorithm,
+                        "ops_per_worker": n_ops,
+                        "efficiency_mean": round(result.mean_efficiency, 4),
+                        "efficiency_max": round(result.max_efficiency, 4),
+                        "straggler_pct_max": round(result.max_straggler_pct, 2),
+                        "straggler_pct_mean": round(result.mean_straggler_pct, 2),
+                    }
+                )
+            ctx.log(f"  fig11 {model} {workload}: done")
+    text = render_rows(
+        rows,
+        "Fig. 11: (a) scheduling efficiency and (b) straggler time vs ops per "
+        f"worker (envG, {n_workers} workers, baseline vs TIC)",
+        floatfmt=".3f",
+    )
+    return finish(ctx, "fig11_efficiency_stragglers", rows, text, t0=t0)

@@ -1,0 +1,47 @@
+"""Fig. 13 / Appendix B — TIC vs. TAC on the commodity CPU cluster (envC).
+
+The paper compares both heuristics against the no-scheduling baseline on
+Inception v2, VGG-16 and AlexNet v2 (training and inference) and finds
+them comparable — DAG structure alone captures most of the benefit for
+current models — with envC's 1 GbE making gains larger than envG's
+(up to ~75%).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..models import ENVC_MODEL_NAMES
+from ..ps import ClusterSpec
+from ..sim import speedup_vs_baseline
+from .common import Context, ExperimentOutput, finish, render_rows
+
+
+def run(ctx: Context, *, n_workers: int = 4) -> ExperimentOutput:
+    t0 = time.perf_counter()
+    rows = []
+    for workload in ("inference", "training"):
+        for model in ENVC_MODEL_NAMES:
+            entry = {
+                "model": model,
+                "workload": workload,
+                "workers": n_workers,
+            }
+            for algorithm in ("tic", "tac"):
+                spec = ClusterSpec(n_workers=n_workers, n_ps=1, workload=workload)
+                gain, _, base = speedup_vs_baseline(
+                    model, spec, algorithm=algorithm, platform="envC",
+                    config=ctx.sim_config(),
+                )
+                entry[f"{algorithm}_speedup_pct"] = round(gain, 1)
+                entry["baseline_sps"] = round(base.throughput, 1)
+            rows.append(entry)
+            ctx.log(
+                f"  fig13 {model} {workload}: tic {entry['tic_speedup_pct']:+.1f}% "
+                f"tac {entry['tac_speedup_pct']:+.1f}%"
+            )
+    text = render_rows(
+        rows,
+        f"Fig. 13: TIC and TAC speedup vs baseline (envC, {n_workers} workers)",
+    )
+    return finish(ctx, "fig13_tic_vs_tac", rows, text, t0=t0)

@@ -1,0 +1,57 @@
+"""Fig. 7 — throughput speedup vs. number of workers (envG).
+
+Protocol: workers in {1, 2, 4, 8, 16} with PS:workers fixed at 1:4, cloud
+GPU platform, both training and inference, gains of TIC relative to the
+no-scheduling baseline. (The paper uses TIC as the representative
+scheduler in envG, Appendix B.)
+
+Shape targets: gains up to the tens of percent; larger models gain more;
+gains grow with worker count until communication saturates, then shrink;
+small models at small scale may lose a few percent to overhead.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..ps import ClusterSpec
+from ..sim import speedup_vs_baseline
+from .common import Context, ExperimentOutput, finish, ps_for_workers, render_rows
+
+
+def run(ctx: Context, *, algorithm: str = "tic") -> ExperimentOutput:
+    t0 = time.perf_counter()
+    rows = []
+    for workload in ("inference", "training"):
+        for model in ctx.scale.models:
+            for w in ctx.scale.worker_counts:
+                spec = ClusterSpec(
+                    n_workers=w, n_ps=ps_for_workers(w), workload=workload
+                )
+                gain, sched, base = speedup_vs_baseline(
+                    model,
+                    spec,
+                    algorithm=algorithm,
+                    platform="envG",
+                    config=ctx.sim_config(),
+                )
+                rows.append(
+                    {
+                        "model": model,
+                        "workload": workload,
+                        "workers": w,
+                        "ps": spec.n_ps,
+                        "baseline_sps": round(base.throughput, 1),
+                        f"{algorithm}_sps": round(sched.throughput, 1),
+                        "speedup_pct": round(gain, 1),
+                    }
+                )
+                ctx.log(
+                    f"  fig7 {model} {workload} w{w}ps{spec.n_ps}: {gain:+.1f}%"
+                )
+    text = render_rows(
+        rows,
+        f"Fig. 7: throughput speedup of {algorithm.upper()} vs baseline, "
+        "scaling workers (envG, PS:W = 1:4)",
+    )
+    return finish(ctx, "fig7_worker_scaling", rows, text, t0=t0)

@@ -1,0 +1,47 @@
+"""Fig. 9 — speedup vs. number of parameter servers (envG, 8 workers).
+
+Shape targets: ordering keeps paying as PS count grows (priorities are
+per-channel, so multiple shards still benefit); inference gains exceed
+training gains; larger models gain more.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..ps import ClusterSpec
+from ..sim import speedup_vs_baseline
+from .common import Context, ExperimentOutput, finish, render_rows
+
+
+def run(ctx: Context, *, algorithm: str = "tic", n_workers: int = 8) -> ExperimentOutput:
+    t0 = time.perf_counter()
+    if ctx.scale.name == "quick":
+        n_workers = min(n_workers, max(ctx.scale.worker_counts))
+    rows = []
+    for workload in ("inference", "training"):
+        for model in ctx.scale.models:
+            for n_ps in ctx.scale.ps_counts:
+                spec = ClusterSpec(n_workers=n_workers, n_ps=n_ps, workload=workload)
+                gain, sched, base = speedup_vs_baseline(
+                    model, spec, algorithm=algorithm,
+                    platform="envG", config=ctx.sim_config(),
+                )
+                rows.append(
+                    {
+                        "model": model,
+                        "workload": workload,
+                        "workers": n_workers,
+                        "ps": n_ps,
+                        "baseline_sps": round(base.throughput, 1),
+                        f"{algorithm}_sps": round(sched.throughput, 1),
+                        "speedup_pct": round(gain, 1),
+                    }
+                )
+                ctx.log(f"  fig9 {model} {workload} ps{n_ps}: {gain:+.1f}%")
+    text = render_rows(
+        rows,
+        f"Fig. 9: speedup of {algorithm.upper()} vs baseline, scaling parameter "
+        f"servers (envG, {n_workers} workers)",
+    )
+    return finish(ctx, "fig9_ps_scaling", rows, text, t0=t0)

@@ -1,0 +1,40 @@
+"""Table 1 — DNN model characteristics, ours vs. the paper.
+
+For each of the ten models: parameter-tensor count, total parameter size
+(MiB), canonical op counts in inference and training modes, and the paper's
+published values with deltas. Parameter counts and sizes reproduce exactly;
+op counts are structural (not padded) and land within a documented margin.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..models import PAPER_TABLE_1, build_model, op_counts
+from .common import Context, ExperimentOutput, finish, render_rows
+
+
+def run(ctx: Context) -> ExperimentOutput:
+    t0 = time.perf_counter()
+    rows = []
+    for name, ref in PAPER_TABLE_1.items():
+        ir = build_model(name)
+        inf, tr = op_counts(ir)
+        rows.append(
+            {
+                "model": name,
+                "params": ir.n_param_tensors,
+                "params_paper": ref.n_params,
+                "size_mib": round(ir.total_param_mib, 2),
+                "size_mib_paper": ref.param_mib,
+                "ops_inf": inf,
+                "ops_inf_paper": ref.ops_inference,
+                "ops_inf_delta_pct": round(100 * (inf - ref.ops_inference) / ref.ops_inference, 1),
+                "ops_train": tr,
+                "ops_train_paper": ref.ops_training,
+                "ops_train_delta_pct": round(100 * (tr - ref.ops_training) / ref.ops_training, 1),
+                "batch": ir.batch_size,
+            }
+        )
+    text = render_rows(rows, "Table 1: DNN model characteristics (ours vs paper)")
+    return finish(ctx, "table1_models", rows, text, t0=t0)

@@ -1,0 +1,40 @@
+"""Computational-graph substrate (the DAG layer TensorFlow provides in the
+paper's system).
+
+Public surface:
+
+* :class:`~repro.graph.op.Op`, :class:`~repro.graph.op.OpKind`,
+  :class:`~repro.graph.op.Resource`, :class:`~repro.graph.op.ResourceKind`
+* :class:`~repro.graph.dag.Graph` — append-only DAG builder/queries
+* :class:`~repro.graph.partition.PartitionedGraph` and
+  :func:`~repro.graph.partition.assign_worker_resources`
+* :func:`~repro.graph.traversal.dependency_matrix` /
+  :func:`~repro.graph.traversal.dependency_sets` — the paper's ``op.dep``
+"""
+
+from .dag import Graph, GraphError
+from .op import Op, OpKind, Resource, ResourceKind
+from .partition import PartitionedGraph, assign_worker_resources
+from .traversal import (
+    communication_dependency_masks,
+    critical_path_cost,
+    dependency_matrix,
+    dependency_sets,
+    recv_index,
+)
+
+__all__ = [
+    "Graph",
+    "GraphError",
+    "Op",
+    "OpKind",
+    "Resource",
+    "ResourceKind",
+    "PartitionedGraph",
+    "assign_worker_resources",
+    "communication_dependency_masks",
+    "critical_path_cost",
+    "dependency_matrix",
+    "dependency_sets",
+    "recv_index",
+]

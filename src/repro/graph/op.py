@@ -1,0 +1,138 @@
+"""Operation and resource primitives for partitioned computational graphs.
+
+The paper (§2.2, §3.1) works with *partitioned graphs*: computational DAGs
+whose vertices ("ops") carry a resource tag — computation ops are assigned
+to a computation resource, communication ops to a communication channel.
+This module defines the op vocabulary shared by the model zoo
+(:mod:`repro.models`), the cluster-graph builder (:mod:`repro.ps`), the
+scheduling algorithms (:mod:`repro.core`) and the discrete-event simulator
+(:mod:`repro.sim`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class OpKind(enum.Enum):
+    """Categories of ops appearing in worker and PS partitions.
+
+    The scheduling problem only distinguishes communication ops (``RECV``,
+    ``SEND``) from everything else; the finer compute categories exist so
+    the model zoo and the PS builder can emit self-describing graphs and so
+    tests can assert structural invariants (e.g. every parameter has exactly
+    one ``UPDATE`` op on its PS shard).
+    """
+
+    #: Generic computation (conv, matmul, activation, gradient, ...).
+    COMPUTE = "compute"
+    #: Network receive; roots of the worker partition (§2.2).
+    RECV = "recv"
+    #: Network send; leaves of the worker partition (§2.2).
+    SEND = "send"
+    #: PS-side gradient aggregation across workers (§2.2).
+    AGGREGATE = "aggregate"
+    #: PS-side parameter update (optimizer apply).
+    UPDATE = "update"
+    #: PS-side parameter read (snapshot served to workers).
+    READ = "read"
+    #: Zero-ish cost framework ops (const/identity/shape); used by the model
+    #: zoo to mirror TensorFlow's op-count accounting (Table 1).
+    AUX = "aux"
+
+    @property
+    def is_communication(self) -> bool:
+        """``True`` for ops that occupy a network channel resource."""
+        return self in (OpKind.RECV, OpKind.SEND)
+
+
+class ResourceKind(enum.Enum):
+    """The two resource classes of the paper's makespan model (§3.2)."""
+
+    COMPUTE = "compute"
+    LINK = "link"
+
+
+@dataclass(frozen=True)
+class Resource:
+    """A schedulable resource: a device's compute engine or a channel
+    direction.
+
+    Channels follow gRPC semantics (§5.1): one channel per worker↔PS pair,
+    one active transfer at a time per direction. A directional channel
+    resource is named ``link:{src}->{dst}``; compute resources are named
+    ``compute:{device}``.
+    """
+
+    name: str
+    kind: ResourceKind
+
+    @staticmethod
+    def compute(device: str) -> "Resource":
+        """Compute resource of ``device`` (e.g. ``worker:0`` or ``ps:1``)."""
+        return Resource(f"compute:{device}", ResourceKind.COMPUTE)
+
+    @staticmethod
+    def link(src: str, dst: str) -> "Resource":
+        """Directional channel resource from ``src`` device to ``dst``."""
+        return Resource(f"link:{src}->{dst}", ResourceKind.LINK)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging nicety
+        return self.name
+
+
+@dataclass
+class Op:
+    """A vertex of a partitioned computational graph.
+
+    Attributes
+    ----------
+    op_id:
+        Dense integer id, assigned by the owning :class:`~repro.graph.dag.Graph`
+        in insertion order. Used as the index into every vectorized
+        per-op array in :mod:`repro.core.properties`.
+    name:
+        Globally unique, human-readable (TensorFlow-style) name, e.g.
+        ``"worker:0/conv2/Conv2D"`` or ``"ps:1/resnet_v1_50/block3/unit_2/
+        bottleneck_v1/conv1/weights/send->worker:3"``.
+    kind:
+        The :class:`OpKind` category.
+    resource:
+        Resource tag of the partitioned graph; ``None`` until partitioning.
+    cost:
+        Ground-truth duration hint in abstract *work units*: FLOPs for
+        compute ops, bytes for communication ops. The platform model
+        (:mod:`repro.timing.platform`) converts work units to seconds.
+    param:
+        For ``RECV``/``SEND``/``AGGREGATE``/``UPDATE``/``READ`` ops, the
+        name of the parameter tensor they move or touch.
+    device:
+        Logical device this op runs on (``worker:i`` / ``ps:j``); set during
+        cluster assembly.
+    """
+
+    op_id: int
+    name: str
+    kind: OpKind
+    resource: Optional[Resource] = None
+    cost: float = 0.0
+    param: Optional[str] = None
+    device: Optional[str] = None
+    #: Free-form annotations (layer name, tensor shape, ...). Not consulted
+    #: by any algorithm; carried for debugging and reporting.
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def is_recv(self) -> bool:
+        """``True`` iff this op is a network receive (the ops TicTac orders)."""
+        return self.kind is OpKind.RECV
+
+    @property
+    def is_communication(self) -> bool:
+        return self.kind.is_communication
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        res = f", resource={self.resource.name}" if self.resource else ""
+        return f"Op({self.op_id}, {self.name!r}, {self.kind.value}{res})"

@@ -1,0 +1,50 @@
+"""Model zoo: the ten DNNs of the paper's Table 1, as layer IR plus
+op-graph emission (canonical and Model-Replica worker forms)."""
+
+from .builder import NetBuilder
+from .emit import (
+    CANONICAL_INFERENCE,
+    CANONICAL_TRAINING,
+    EMIT_MODES,
+    WORKER_INFERENCE,
+    WORKER_TRAINING,
+    EmitResult,
+    emit_graph,
+    op_counts,
+)
+from .ir import FLOAT_BYTES, ModelIR, Node, ParamTensor, conv_out_hw
+from .zoo import (
+    ENVC_MODEL_NAMES,
+    EXTRA_MODEL_BUILDERS,
+    MODEL_BUILDERS,
+    MODEL_NAMES,
+    PAPER_TABLE_1,
+    PaperModelRow,
+    build_model,
+    standard_batch_size,
+)
+
+__all__ = [
+    "NetBuilder",
+    "CANONICAL_INFERENCE",
+    "CANONICAL_TRAINING",
+    "EMIT_MODES",
+    "WORKER_INFERENCE",
+    "WORKER_TRAINING",
+    "EmitResult",
+    "emit_graph",
+    "op_counts",
+    "FLOAT_BYTES",
+    "ModelIR",
+    "Node",
+    "ParamTensor",
+    "conv_out_hw",
+    "ENVC_MODEL_NAMES",
+    "EXTRA_MODEL_BUILDERS",
+    "MODEL_BUILDERS",
+    "MODEL_NAMES",
+    "PAPER_TABLE_1",
+    "PaperModelRow",
+    "build_model",
+    "standard_batch_size",
+]

@@ -1,0 +1,32 @@
+"""AlexNet v2 (Krizhevsky 2014, "one weird trick"), TF-slim variant.
+
+16 parameter tensors (8 weight/bias pairs), 191.9 MiB — Table 1 row 1.
+Slim's ``alexnet_v2`` implements the fully connected head as convolutions
+(fc6 as a 5x5 VALID conv, fc7/fc8 as 1x1 convs), which we follow.
+"""
+
+from __future__ import annotations
+
+from .builder import NetBuilder
+from .ir import ModelIR
+
+
+def alexnet_v2(batch_size: int = 512) -> ModelIR:
+    b = NetBuilder("alexnet_v2", batch_size, input_hw=(224, 224))
+    b.conv("conv1", 11, 64, stride=4, padding="VALID", bias=True, bn=False)
+    b.max_pool("pool1", 3, 2)
+    b.conv("conv2", 5, 192, bias=True, bn=False)
+    b.max_pool("pool2", 3, 2)
+    b.conv("conv3", 3, 384, bias=True, bn=False)
+    b.conv("conv4", 3, 384, bias=True, bn=False)
+    b.conv("conv5", 3, 256, bias=True, bn=False)
+    b.max_pool("pool5", 3, 2)
+    # fc layers implemented as convolutions, as in slim.
+    b.conv("fc6", 5, 4096, padding="VALID", bias=True, bn=False)
+    b.dropout("dropout6")
+    b.conv("fc7", 1, 4096, bias=True, bn=False)
+    b.dropout("dropout7")
+    b.conv("fc8", 1, 1000, bias=True, bn=False, relu=False)
+    b.flatten("logits")
+    b.softmax("predictions")
+    return b.build()

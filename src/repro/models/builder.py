@@ -1,0 +1,370 @@
+"""Shape-tracking builder for :class:`~repro.models.ir.ModelIR`.
+
+Provides the layer vocabulary needed by the ten Table-1 architectures:
+convolutions (plain, depthwise-separable, asymmetric kxl kernels), batch
+norm, activations, pooling, fully connected, concat (Inception), residual
+add (ResNet), LRN (AlexNet-era), dropout and the softmax/loss heads.
+
+All FLOP counts use the multiply+add = 2 FLOPs convention and are scaled
+by the model's batch size at build time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .ir import ModelIR, Node, ParamTensor, conv_out_hw
+
+
+class NetBuilder:
+    """Accumulates micro-layers while inferring output shapes.
+
+    Every method returns the name of the node whose output carries the
+    layer's result, so calls chain naturally::
+
+        b = NetBuilder("vgg_16", batch_size=32, input_hw=(224, 224))
+        x = b.conv("conv1/conv1_1", 3, 64, bias=True, bn=False)
+        x = b.conv("conv1/conv1_2", 3, 64, bias=True, bn=False)
+        x = b.max_pool("pool1")
+    """
+
+    def __init__(
+        self,
+        name: str,
+        batch_size: int,
+        input_hw: tuple[int, int] = (224, 224),
+        input_channels: int = 3,
+    ) -> None:
+        self.ir = ModelIR(name, batch_size)
+        self._last = "input"
+        self.ir.add(
+            Node(
+                name="input",
+                op="input",
+                inputs=[],
+                out_shape=(input_hw[0], input_hw[1], input_channels),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _shape(self, node: str) -> tuple[int, ...]:
+        return self.ir.node(node).out_shape
+
+    def _add(self, node: Node) -> str:
+        self.ir.add(node)
+        self._last = node.name
+        return node.name
+
+    def _resolve(self, input: Optional[str]) -> str:
+        return self._last if input is None else input
+
+    @property
+    def last(self) -> str:
+        return self._last
+
+    @property
+    def batch(self) -> int:
+        return self.ir.batch_size
+
+    # ------------------------------------------------------------------
+    # Convolutions
+    # ------------------------------------------------------------------
+    def conv(
+        self,
+        name: str,
+        kernel,
+        out_ch: int,
+        stride: int = 1,
+        padding: str = "SAME",
+        *,
+        bias: bool = False,
+        bn: bool = True,
+        relu: bool = True,
+        input: Optional[str] = None,
+    ) -> str:
+        """2-D convolution with optional bias / batch-norm / ReLU tail.
+
+        ``kernel`` is an int or ``(kh, kw)`` (asymmetric 1x7/7x1 factorized
+        kernels of Inception v3). Parameter convention follows TF-slim:
+        ``bn=True`` adds a beta tensor and suppresses the conv bias.
+        """
+        x = self._resolve(input)
+        h, w, cin = self._shape(x)
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        oh, ow = conv_out_hw(h, w, kh, kw, stride, padding)
+        weights = ParamTensor(f"{name}/weights", (kh, kw, cin, out_ch))
+        flops = 2.0 * kh * kw * cin * out_ch * oh * ow * self.batch
+        out = self._add(
+            Node(
+                name=name,
+                op="conv",
+                inputs=[x],
+                out_shape=(oh, ow, out_ch),
+                flops=flops,
+                params=[weights],
+                attrs={"kernel": (kh, kw), "stride": stride, "padding": padding},
+            )
+        )
+        return self._tail(name, out, out_ch, bias=bias, bn=bn, relu=relu)
+
+    def depthwise_conv(
+        self,
+        name: str,
+        kernel: int,
+        depth_multiplier: int = 1,
+        stride: int = 1,
+        padding: str = "SAME",
+        *,
+        bn: bool = True,
+        relu: bool = True,
+        input: Optional[str] = None,
+    ) -> str:
+        """Depthwise convolution (Inception v2's separable stem)."""
+        x = self._resolve(input)
+        h, w, cin = self._shape(x)
+        oh, ow = conv_out_hw(h, w, kernel, kernel, stride, padding)
+        out_ch = cin * depth_multiplier
+        weights = ParamTensor(f"{name}/depthwise_weights", (kernel, kernel, cin, depth_multiplier))
+        flops = 2.0 * kernel * kernel * cin * depth_multiplier * oh * ow * self.batch
+        out = self._add(
+            Node(
+                name=name,
+                op="depthwise_conv",
+                inputs=[x],
+                out_shape=(oh, ow, out_ch),
+                flops=flops,
+                params=[weights],
+                attrs={"kernel": (kernel, kernel), "stride": stride},
+            )
+        )
+        return self._tail(name, out, out_ch, bias=False, bn=bn, relu=relu)
+
+    def _tail(self, base: str, x: str, channels: int, *, bias: bool, bn: bool, relu: bool) -> str:
+        """Append the bias/BN/ReLU micro-layers following a conv or fc."""
+        shape = self._shape(x)
+        elems = 1
+        for d in shape:
+            elems *= d
+        if bias:
+            b = ParamTensor(f"{base}/biases", (channels,))
+            x = self._add(
+                Node(
+                    name=f"{base}/BiasAdd",
+                    op="biasadd",
+                    inputs=[x],
+                    out_shape=shape,
+                    flops=float(elems * self.batch),
+                    params=[b],
+                )
+            )
+        if bn:
+            beta = ParamTensor(f"{base}/BatchNorm/beta", (channels,))
+            x = self._add(
+                Node(
+                    name=f"{base}/BatchNorm",
+                    op="bn",
+                    inputs=[x],
+                    out_shape=shape,
+                    flops=float(2 * elems * self.batch),
+                    params=[beta],
+                )
+            )
+        if relu:
+            x = self._add(
+                Node(
+                    name=f"{base}/Relu",
+                    op="relu",
+                    inputs=[x],
+                    out_shape=shape,
+                    flops=float(elems * self.batch),
+                )
+            )
+        return x
+
+    def batch_norm(self, name: str, input: Optional[str] = None, *, relu: bool = False) -> str:
+        """Standalone BN (ResNet-v2 pre-activation / post-norm). Carries a
+        beta parameter, optionally followed by ReLU."""
+        x = self._resolve(input)
+        shape = self._shape(x)
+        channels = shape[-1]
+        elems = 1
+        for d in shape:
+            elems *= d
+        beta = ParamTensor(f"{name}/beta", (channels,))
+        out = self._add(
+            Node(
+                name=name,
+                op="bn",
+                inputs=[x],
+                out_shape=shape,
+                flops=float(2 * elems * self.batch),
+                params=[beta],
+            )
+        )
+        if relu:
+            out = self._add(
+                Node(
+                    name=f"{name}/Relu",
+                    op="relu",
+                    inputs=[out],
+                    out_shape=shape,
+                    flops=float(elems * self.batch),
+                )
+            )
+        return out
+
+    def relu(self, name: str, input: Optional[str] = None) -> str:
+        x = self._resolve(input)
+        shape = self._shape(x)
+        elems = 1
+        for d in shape:
+            elems *= d
+        return self._add(
+            Node(name=name, op="relu", inputs=[x], out_shape=shape,
+                 flops=float(elems * self.batch))
+        )
+
+    # ------------------------------------------------------------------
+    # Pooling and shape ops
+    # ------------------------------------------------------------------
+    def _pool(self, name: str, op: str, kernel: int, stride: int, padding: str,
+              input: Optional[str]) -> str:
+        x = self._resolve(input)
+        h, w, c = self._shape(x)
+        oh, ow = conv_out_hw(h, w, kernel, kernel, stride, padding)
+        flops = float(kernel * kernel * oh * ow * c * self.batch)
+        return self._add(
+            Node(name=name, op=op, inputs=[x], out_shape=(oh, ow, c), flops=flops,
+                 attrs={"kernel": kernel, "stride": stride})
+        )
+
+    def max_pool(self, name: str, kernel: int = 2, stride: int = 2,
+                 padding: str = "VALID", input: Optional[str] = None) -> str:
+        return self._pool(name, "maxpool", kernel, stride, padding, input)
+
+    def avg_pool(self, name: str, kernel: int = 2, stride: int = 2,
+                 padding: str = "VALID", input: Optional[str] = None) -> str:
+        return self._pool(name, "avgpool", kernel, stride, padding, input)
+
+    def global_avg_pool(self, name: str, input: Optional[str] = None) -> str:
+        """Spatial mean reducing (H, W, C) -> (C,)."""
+        x = self._resolve(input)
+        h, w, c = self._shape(x)
+        return self._add(
+            Node(name=name, op="avgpool", inputs=[x], out_shape=(c,),
+                 flops=float(h * w * c * self.batch), attrs={"global": True})
+        )
+
+    def flatten(self, name: str, input: Optional[str] = None) -> str:
+        x = self._resolve(input)
+        shape = self._shape(x)
+        elems = 1
+        for d in shape:
+            elems *= d
+        return self._add(
+            Node(name=name, op="flatten", inputs=[x], out_shape=(elems,), flops=0.0)
+        )
+
+    # ------------------------------------------------------------------
+    # Dense layers and heads
+    # ------------------------------------------------------------------
+    def fc(self, name: str, out_dim: int, *, bias: bool = True,
+           relu: bool = False, input: Optional[str] = None) -> str:
+        """Fully connected layer; flattens spatial input automatically."""
+        x = self._resolve(input)
+        shape = self._shape(x)
+        if len(shape) != 1:
+            x = self.flatten(f"{name}/flatten", input=x)
+            shape = self._shape(x)
+        in_dim = shape[0]
+        weights = ParamTensor(f"{name}/weights", (in_dim, out_dim))
+        out = self._add(
+            Node(
+                name=name,
+                op="fc",
+                inputs=[x],
+                out_shape=(out_dim,),
+                flops=2.0 * in_dim * out_dim * self.batch,
+                params=[weights],
+            )
+        )
+        return self._tail(name, out, out_dim, bias=bias, bn=False, relu=relu)
+
+    def softmax(self, name: str, input: Optional[str] = None) -> str:
+        x = self._resolve(input)
+        (c,) = self._shape(x)
+        return self._add(
+            Node(name=name, op="softmax", inputs=[x], out_shape=(c,),
+                 flops=float(5 * c * self.batch))
+        )
+
+    def dropout(self, name: str, input: Optional[str] = None) -> str:
+        x = self._resolve(input)
+        shape = self._shape(x)
+        elems = 1
+        for d in shape:
+            elems *= d
+        return self._add(
+            Node(name=name, op="dropout", inputs=[x], out_shape=shape,
+                 flops=float(2 * elems * self.batch))
+        )
+
+    def lrn(self, name: str, input: Optional[str] = None) -> str:
+        """Local response normalization (AlexNet heritage)."""
+        x = self._resolve(input)
+        shape = self._shape(x)
+        elems = 1
+        for d in shape:
+            elems *= d
+        return self._add(
+            Node(name=name, op="lrn", inputs=[x], out_shape=shape,
+                 flops=float(8 * elems * self.batch))
+        )
+
+    # ------------------------------------------------------------------
+    # Multi-input combinators
+    # ------------------------------------------------------------------
+    def concat(self, name: str, inputs: Sequence[str]) -> str:
+        """Channel concatenation (Inception branch merge)."""
+        shapes = [self._shape(i) for i in inputs]
+        h, w = shapes[0][0], shapes[0][1]
+        for s in shapes:
+            if (s[0], s[1]) != (h, w):
+                raise ValueError(
+                    f"concat {name!r}: mismatched spatial dims {shapes}"
+                )
+        c = sum(s[2] for s in shapes)
+        elems = h * w * c
+        return self._add(
+            Node(name=name, op="concat", inputs=list(inputs), out_shape=(h, w, c),
+                 flops=float(elems * self.batch))
+        )
+
+    def add(self, name: str, a: str, b: str, *, relu: bool = False) -> str:
+        """Elementwise residual addition (ResNet shortcut merge)."""
+        sa, sb = self._shape(a), self._shape(b)
+        if sa != sb:
+            raise ValueError(f"add {name!r}: shape mismatch {sa} vs {sb}")
+        elems = 1
+        for d in sa:
+            elems *= d
+        out = self._add(
+            Node(name=name, op="add", inputs=[a, b], out_shape=sa,
+                 flops=float(elems * self.batch))
+        )
+        if relu:
+            out = self.relu(f"{name}/Relu", input=out)
+        return out
+
+    # ------------------------------------------------------------------
+    def build(self, final: Optional[str] = None) -> ModelIR:
+        """Validate and return the IR. ``final`` asserts which node ends
+        the network (defaults to the last added)."""
+        if final is not None and final != self._last:
+            raise ValueError(
+                f"expected final node {final!r} but last added was {self._last!r}"
+            )
+        self.ir.validate()
+        return self.ir

@@ -1,0 +1,244 @@
+"""Inception v1 (GoogLeNet), v2 (BN-Inception) and v3, TF-slim variants.
+
+Parameter-tensor accounting matches Table 1:
+
+* **v1**: 57 batch-normalized convs (slim implements the "5x5" branch as
+  3x3, which is what lands the 25.24 MiB total) + logits fc => 116.
+* **v2**: separable stem (depthwise + pointwise + one BN) + 10 mixed
+  blocks => 70 weights + 69 betas + fc pair = 141.
+* **v3**: 299x299 input, factorized 1x7/7x1 and 1x3/3x1 kernels, auxiliary
+  head included (that is what brings the total to 103.5 MiB) => 196.
+"""
+
+from __future__ import annotations
+
+from .builder import NetBuilder
+from .ir import ModelIR
+
+
+# ----------------------------------------------------------------------
+# Inception v1 — GoogLeNet
+# ----------------------------------------------------------------------
+
+#: (b0_1x1, b1_reduce, b1_3x3, b2_reduce, b2_3x3, pool_proj) per module.
+_V1_MODULES = {
+    "Mixed_3b": (64, 96, 128, 16, 32, 32),
+    "Mixed_3c": (128, 128, 192, 32, 96, 64),
+    "Mixed_4b": (192, 96, 208, 16, 48, 64),
+    "Mixed_4c": (160, 112, 224, 24, 64, 64),
+    "Mixed_4d": (128, 128, 256, 24, 64, 64),
+    "Mixed_4e": (112, 144, 288, 32, 64, 64),
+    "Mixed_4f": (256, 160, 320, 32, 128, 128),
+    "Mixed_5b": (256, 160, 320, 32, 128, 128),
+    "Mixed_5c": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _v1_module(b: NetBuilder, scope: str, x: str, cfg: tuple[int, ...]) -> str:
+    c0, c1r, c1, c2r, c2, cp = cfg
+    b0 = b.conv(f"{scope}/Branch_0/Conv2d_0a_1x1", 1, c0, input=x)
+    b1 = b.conv(f"{scope}/Branch_1/Conv2d_0a_1x1", 1, c1r, input=x)
+    b1 = b.conv(f"{scope}/Branch_1/Conv2d_0b_3x3", 3, c1, input=b1)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0a_1x1", 1, c2r, input=x)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0b_3x3", 3, c2, input=b2)
+    b3 = b.max_pool(f"{scope}/Branch_3/MaxPool_0a_3x3", 3, 1, padding="SAME", input=x)
+    b3 = b.conv(f"{scope}/Branch_3/Conv2d_0b_1x1", 1, cp, input=b3)
+    return b.concat(f"{scope}/concat", [b0, b1, b2, b3])
+
+
+def inception_v1(batch_size: int = 128) -> ModelIR:
+    b = NetBuilder("inception_v1", batch_size, input_hw=(224, 224))
+    x = b.conv("Conv2d_1a_7x7", 7, 64, stride=2)
+    x = b.max_pool("MaxPool_2a_3x3", 3, 2, padding="SAME", input=x)
+    x = b.conv("Conv2d_2b_1x1", 1, 64, input=x)
+    x = b.conv("Conv2d_2c_3x3", 3, 192, input=x)
+    x = b.max_pool("MaxPool_3a_3x3", 3, 2, padding="SAME", input=x)
+    for scope in ("Mixed_3b", "Mixed_3c"):
+        x = _v1_module(b, scope, x, _V1_MODULES[scope])
+    x = b.max_pool("MaxPool_4a_3x3", 3, 2, padding="SAME", input=x)
+    for scope in ("Mixed_4b", "Mixed_4c", "Mixed_4d", "Mixed_4e", "Mixed_4f"):
+        x = _v1_module(b, scope, x, _V1_MODULES[scope])
+    x = b.max_pool("MaxPool_5a_2x2", 2, 2, padding="SAME", input=x)
+    for scope in ("Mixed_5b", "Mixed_5c"):
+        x = _v1_module(b, scope, x, _V1_MODULES[scope])
+    x = b.global_avg_pool("AvgPool_0a", input=x)
+    b.dropout("Dropout_0b")
+    b.fc("Logits/Conv2d_0c_1x1", 1000)
+    b.softmax("predictions")
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Inception v2 — BN-Inception with separable stem
+# ----------------------------------------------------------------------
+
+#: Regular block: (b0, b1r, b1, b2r, b2a, b2b, pool_proj, pool_type).
+_V2_BLOCKS = {
+    "Mixed_3b": (64, 64, 64, 64, 96, 96, 32, "avg"),
+    "Mixed_3c": (64, 64, 96, 64, 96, 96, 64, "avg"),
+    "Mixed_4b": (224, 64, 96, 96, 128, 128, 128, "avg"),
+    "Mixed_4c": (192, 96, 128, 96, 128, 128, 128, "avg"),
+    "Mixed_4d": (160, 128, 160, 128, 160, 160, 96, "avg"),
+    "Mixed_4e": (96, 128, 192, 160, 192, 192, 96, "avg"),
+    "Mixed_5b": (352, 192, 320, 160, 224, 224, 128, "avg"),
+    "Mixed_5c": (352, 192, 320, 192, 224, 224, 128, "max"),
+}
+
+#: Stride-2 reduction block: (b0r, b0, b1r, b1a, b1b).
+_V2_REDUCTIONS = {
+    "Mixed_4a": (128, 160, 64, 96, 96),
+    "Mixed_5a": (128, 192, 192, 256, 256),
+}
+
+
+def _v2_block(b: NetBuilder, scope: str, x: str, cfg) -> str:
+    c0, c1r, c1, c2r, c2a, c2b, cp, pool = cfg
+    b0 = b.conv(f"{scope}/Branch_0/Conv2d_0a_1x1", 1, c0, input=x)
+    b1 = b.conv(f"{scope}/Branch_1/Conv2d_0a_1x1", 1, c1r, input=x)
+    b1 = b.conv(f"{scope}/Branch_1/Conv2d_0b_3x3", 3, c1, input=b1)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0a_1x1", 1, c2r, input=x)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0b_3x3", 3, c2a, input=b2)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0c_3x3", 3, c2b, input=b2)
+    pool_fn = b.avg_pool if pool == "avg" else b.max_pool
+    b3 = pool_fn(f"{scope}/Branch_3/Pool_0a_3x3", 3, 1, padding="SAME", input=x)
+    b3 = b.conv(f"{scope}/Branch_3/Conv2d_0b_1x1", 1, cp, input=b3)
+    return b.concat(f"{scope}/concat", [b0, b1, b2, b3])
+
+
+def _v2_reduction(b: NetBuilder, scope: str, x: str, cfg) -> str:
+    c0r, c0, c1r, c1a, c1b = cfg
+    b0 = b.conv(f"{scope}/Branch_0/Conv2d_0a_1x1", 1, c0r, input=x)
+    b0 = b.conv(f"{scope}/Branch_0/Conv2d_1a_3x3", 3, c0, stride=2, input=b0)
+    b1 = b.conv(f"{scope}/Branch_1/Conv2d_0a_1x1", 1, c1r, input=x)
+    b1 = b.conv(f"{scope}/Branch_1/Conv2d_0b_3x3", 3, c1a, input=b1)
+    b1 = b.conv(f"{scope}/Branch_1/Conv2d_1a_3x3", 3, c1b, stride=2, input=b1)
+    b2 = b.max_pool(f"{scope}/Branch_2/MaxPool_1a_3x3", 3, 2, padding="SAME", input=x)
+    return b.concat(f"{scope}/concat", [b0, b1, b2])
+
+
+def inception_v2(batch_size: int = 128) -> ModelIR:
+    b = NetBuilder("inception_v2", batch_size, input_hw=(224, 224))
+    # Separable 7x7 stem: depthwise (multiplier 8) + pointwise to 64, one BN.
+    x = b.depthwise_conv("Conv2d_1a_7x7/depthwise", 7, depth_multiplier=8,
+                         stride=2, bn=False, relu=False)
+    x = b.conv("Conv2d_1a_7x7/pointwise", 1, 64, input=x)
+    x = b.max_pool("MaxPool_2a_3x3", 3, 2, padding="SAME", input=x)
+    x = b.conv("Conv2d_2b_1x1", 1, 64, input=x)
+    x = b.conv("Conv2d_2c_3x3", 3, 192, input=x)
+    x = b.max_pool("MaxPool_3a_3x3", 3, 2, padding="SAME", input=x)
+    x = _v2_block(b, "Mixed_3b", x, _V2_BLOCKS["Mixed_3b"])
+    x = _v2_block(b, "Mixed_3c", x, _V2_BLOCKS["Mixed_3c"])
+    x = _v2_reduction(b, "Mixed_4a", x, _V2_REDUCTIONS["Mixed_4a"])
+    for scope in ("Mixed_4b", "Mixed_4c", "Mixed_4d", "Mixed_4e"):
+        x = _v2_block(b, scope, x, _V2_BLOCKS[scope])
+    x = _v2_reduction(b, "Mixed_5a", x, _V2_REDUCTIONS["Mixed_5a"])
+    x = _v2_block(b, "Mixed_5b", x, _V2_BLOCKS["Mixed_5b"])
+    x = _v2_block(b, "Mixed_5c", x, _V2_BLOCKS["Mixed_5c"])
+    x = b.global_avg_pool("AvgPool_1a", input=x)
+    b.dropout("Dropout_1b")
+    b.fc("Logits/Conv2d_1c_1x1", 1000)
+    b.softmax("predictions")
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Inception v3
+# ----------------------------------------------------------------------
+
+
+def _v3_module_a(b: NetBuilder, scope: str, x: str, pool_proj: int) -> str:
+    """35x35 module: 1x1 / 5x5 / double-3x3 / pool branches."""
+    b0 = b.conv(f"{scope}/Branch_0/Conv2d_0a_1x1", 1, 64, input=x)
+    b1 = b.conv(f"{scope}/Branch_1/Conv2d_0a_1x1", 1, 48, input=x)
+    b1 = b.conv(f"{scope}/Branch_1/Conv2d_0b_5x5", 5, 64, input=b1)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0a_1x1", 1, 64, input=x)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0b_3x3", 3, 96, input=b2)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0c_3x3", 3, 96, input=b2)
+    b3 = b.avg_pool(f"{scope}/Branch_3/AvgPool_0a_3x3", 3, 1, padding="SAME", input=x)
+    b3 = b.conv(f"{scope}/Branch_3/Conv2d_0b_1x1", 1, pool_proj, input=b3)
+    return b.concat(f"{scope}/concat", [b0, b1, b2, b3])
+
+
+def _v3_module_b(b: NetBuilder, scope: str, x: str, c7: int) -> str:
+    """17x17 module with factorized 7x7 (1x7 / 7x1) branches."""
+    b0 = b.conv(f"{scope}/Branch_0/Conv2d_0a_1x1", 1, 192, input=x)
+    b1 = b.conv(f"{scope}/Branch_1/Conv2d_0a_1x1", 1, c7, input=x)
+    b1 = b.conv(f"{scope}/Branch_1/Conv2d_0b_1x7", (1, 7), c7, input=b1)
+    b1 = b.conv(f"{scope}/Branch_1/Conv2d_0c_7x1", (7, 1), 192, input=b1)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0a_1x1", 1, c7, input=x)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0b_7x1", (7, 1), c7, input=b2)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0c_1x7", (1, 7), c7, input=b2)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0d_7x1", (7, 1), c7, input=b2)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0e_1x7", (1, 7), 192, input=b2)
+    b3 = b.avg_pool(f"{scope}/Branch_3/AvgPool_0a_3x3", 3, 1, padding="SAME", input=x)
+    b3 = b.conv(f"{scope}/Branch_3/Conv2d_0b_1x1", 1, 192, input=b3)
+    return b.concat(f"{scope}/concat", [b0, b1, b2, b3])
+
+
+def _v3_module_c(b: NetBuilder, scope: str, x: str) -> str:
+    """8x8 module with split 1x3/3x1 branch tips."""
+    b0 = b.conv(f"{scope}/Branch_0/Conv2d_0a_1x1", 1, 320, input=x)
+    b1 = b.conv(f"{scope}/Branch_1/Conv2d_0a_1x1", 1, 384, input=x)
+    b1a = b.conv(f"{scope}/Branch_1/Conv2d_0b_1x3", (1, 3), 384, input=b1)
+    b1b = b.conv(f"{scope}/Branch_1/Conv2d_0c_3x1", (3, 1), 384, input=b1)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0a_1x1", 1, 448, input=x)
+    b2 = b.conv(f"{scope}/Branch_2/Conv2d_0b_3x3", 3, 384, input=b2)
+    b2a = b.conv(f"{scope}/Branch_2/Conv2d_0c_1x3", (1, 3), 384, input=b2)
+    b2b = b.conv(f"{scope}/Branch_2/Conv2d_0d_3x1", (3, 1), 384, input=b2)
+    b3 = b.avg_pool(f"{scope}/Branch_3/AvgPool_0a_3x3", 3, 1, padding="SAME", input=x)
+    b3 = b.conv(f"{scope}/Branch_3/Conv2d_0b_1x1", 1, 192, input=b3)
+    return b.concat(f"{scope}/concat", [b0, b1a, b1b, b2a, b2b, b3])
+
+
+def inception_v3(batch_size: int = 32) -> ModelIR:
+    b = NetBuilder("inception_v3", batch_size, input_hw=(299, 299))
+    x = b.conv("Conv2d_1a_3x3", 3, 32, stride=2, padding="VALID")
+    x = b.conv("Conv2d_2a_3x3", 3, 32, padding="VALID", input=x)
+    x = b.conv("Conv2d_2b_3x3", 3, 64, input=x)
+    x = b.max_pool("MaxPool_3a_3x3", 3, 2, input=x)
+    x = b.conv("Conv2d_3b_1x1", 1, 80, padding="VALID", input=x)
+    x = b.conv("Conv2d_4a_3x3", 3, 192, padding="VALID", input=x)
+    x = b.max_pool("MaxPool_5a_3x3", 3, 2, input=x)
+    x = _v3_module_a(b, "Mixed_5b", x, 32)
+    x = _v3_module_a(b, "Mixed_5c", x, 64)
+    x = _v3_module_a(b, "Mixed_5d", x, 64)
+    # Mixed_6a: stride-2 reduction to 17x17.
+    b0 = b.conv("Mixed_6a/Branch_0/Conv2d_1a_1x1", 3, 384, stride=2,
+                padding="VALID", input=x)
+    b1 = b.conv("Mixed_6a/Branch_1/Conv2d_0a_1x1", 1, 64, input=x)
+    b1 = b.conv("Mixed_6a/Branch_1/Conv2d_0b_3x3", 3, 96, input=b1)
+    b1 = b.conv("Mixed_6a/Branch_1/Conv2d_1a_1x1", 3, 96, stride=2,
+                padding="VALID", input=b1)
+    b2 = b.max_pool("Mixed_6a/Branch_2/MaxPool_1a_3x3", 3, 2, input=x)
+    x = b.concat("Mixed_6a/concat", [b0, b1, b2])
+    x = _v3_module_b(b, "Mixed_6b", x, 128)
+    x = _v3_module_b(b, "Mixed_6c", x, 160)
+    x = _v3_module_b(b, "Mixed_6d", x, 160)
+    x = _v3_module_b(b, "Mixed_6e", x, 192)
+    # Auxiliary head (kept: it contributes to Table 1's 196/103.5 MiB).
+    a = b.avg_pool("AuxLogits/AvgPool_1a_5x5", 5, 3, padding="VALID", input=x)
+    a = b.conv("AuxLogits/Conv2d_1b_1x1", 1, 128, input=a)
+    a = b.conv("AuxLogits/Conv2d_2a_5x5", 5, 768, padding="VALID", input=a)
+    a = b.conv("AuxLogits/Conv2d_2b_1x1", 1, 1000, bias=True, bn=False,
+               relu=False, input=a)
+    aux = b.flatten("AuxLogits/flatten", input=a)
+    # Mixed_7a: stride-2 reduction to 8x8.
+    b0 = b.conv("Mixed_7a/Branch_0/Conv2d_0a_1x1", 1, 192, input=x)
+    b0 = b.conv("Mixed_7a/Branch_0/Conv2d_1a_3x3", 3, 320, stride=2,
+                padding="VALID", input=b0)
+    b1 = b.conv("Mixed_7a/Branch_1/Conv2d_0a_1x1", 1, 192, input=x)
+    b1 = b.conv("Mixed_7a/Branch_1/Conv2d_0b_1x7", (1, 7), 192, input=b1)
+    b1 = b.conv("Mixed_7a/Branch_1/Conv2d_0c_7x1", (7, 1), 192, input=b1)
+    b1 = b.conv("Mixed_7a/Branch_1/Conv2d_1a_3x3", 3, 192, stride=2,
+                padding="VALID", input=b1)
+    b2 = b.max_pool("Mixed_7a/Branch_2/MaxPool_1a_3x3", 3, 2, input=x)
+    x = b.concat("Mixed_7a/concat", [b0, b1, b2])
+    x = _v3_module_c(b, "Mixed_7b", x)
+    x = _v3_module_c(b, "Mixed_7c", x)
+    x = b.global_avg_pool("AvgPool_1a", input=x)
+    b.dropout("Dropout_1b")
+    b.fc("Logits/Conv2d_1c_1x1", 1000)
+    b.softmax("predictions")
+    ir = b.build()
+    ir.nodes["predictions"].attrs["aux_head"] = aux
+    return ir

@@ -1,0 +1,101 @@
+"""ResNet-50/101, v1 (He 2015) and v2 pre-activation (He 2016).
+
+Parameter-tensor accounting matches Table 1 via TF-slim conventions:
+
+* v1: every conv carries a weight tensor and a BN beta (slim
+  ``scale=False`` => no gamma, conv bias disabled); one logits fc with
+  weight+bias. ResNet-50 v1: 1 root conv + 16 bottleneck units x 3 convs
+  + 4 shortcut convs = 53 convs -> 106 tensors + 2 = **108** (Table 1).
+* v2 additionally has a pre-activation BN per unit and a final post-norm
+  BN: ResNet-50 v2 = 108 + 16 + 1 = **125**; ResNet-101 v2 = 210 + 33 + 1
+  = **244** (Table 1).
+"""
+
+from __future__ import annotations
+
+from .builder import NetBuilder
+from .ir import ModelIR
+
+#: (units per stage) for each depth.
+_UNITS = {50: (3, 4, 6, 3), 101: (3, 4, 23, 3), 152: (3, 8, 36, 3)}
+#: Bottleneck inner width per stage; output width is 4x this.
+_DEPTHS = (64, 128, 256, 512)
+
+
+def _bottleneck_v1(b: NetBuilder, scope: str, x: str, depth: int, stride: int,
+                   project: bool) -> str:
+    """v1 bottleneck: conv-BN-ReLU x2, conv-BN, shortcut, add, ReLU."""
+    out_ch = depth * 4
+    if project:
+        shortcut = b.conv(f"{scope}/shortcut", 1, out_ch, stride=stride,
+                          relu=False, input=x)
+    else:
+        shortcut = x
+    y = b.conv(f"{scope}/conv1", 1, depth, input=x)
+    y = b.conv(f"{scope}/conv2", 3, depth, stride=stride, input=y)
+    y = b.conv(f"{scope}/conv3", 1, out_ch, relu=False, input=y)
+    return b.add(f"{scope}/add", shortcut, y, relu=True)
+
+
+def _bottleneck_v2(b: NetBuilder, scope: str, x: str, depth: int, stride: int,
+                   project: bool) -> str:
+    """v2 pre-activation bottleneck: BN-ReLU first, un-normalized residual add."""
+    out_ch = depth * 4
+    preact = b.batch_norm(f"{scope}/preact", input=x, relu=True)
+    if project:
+        shortcut = b.conv(f"{scope}/shortcut", 1, out_ch, stride=stride,
+                          relu=False, input=preact)
+    else:
+        shortcut = x
+    y = b.conv(f"{scope}/conv1", 1, depth, input=preact)
+    y = b.conv(f"{scope}/conv2", 3, depth, stride=stride, input=y)
+    y = b.conv(f"{scope}/conv3", 1, out_ch, relu=False, input=y)
+    return b.add(f"{scope}/add", shortcut, y, relu=False)
+
+
+def _resnet(depth: int, version: int, batch_size: int) -> ModelIR:
+    units = _UNITS[depth]
+    name = f"resnet_v{version}_{depth}"
+    b = NetBuilder(name, batch_size, input_hw=(224, 224))
+    # Root conv is batch-normalized in both versions (the v2 pre-activation
+    # units re-normalize their inputs; the root keeps its own BN, which is
+    # what Table 1's 125/244 tensor counts imply). v2 defers the root ReLU
+    # to the first unit's pre-activation.
+    x = b.conv("conv1", 7, 64, stride=2, relu=(version == 1))
+    x = b.max_pool("pool1", 3, 2, padding="SAME")
+    unit_fn = _bottleneck_v1 if version == 1 else _bottleneck_v2
+    for stage, (n_units, inner) in enumerate(zip(units, _DEPTHS), start=1):
+        for unit in range(1, n_units + 1):
+            stride = 2 if (unit == 1 and stage > 1) else 1
+            project = unit == 1
+            x = unit_fn(b, f"block{stage}/unit_{unit}/bottleneck_v{version}",
+                        x, inner, stride, project)
+    if version == 2:
+        x = b.batch_norm("postnorm", input=x, relu=True)
+    b.global_avg_pool("pool5", input=x)
+    b.fc("logits", 1000)
+    b.softmax("predictions")
+    return b.build()
+
+
+def resnet_v1_50(batch_size: int = 32) -> ModelIR:
+    return _resnet(50, 1, batch_size)
+
+
+def resnet_v1_101(batch_size: int = 64) -> ModelIR:
+    return _resnet(101, 1, batch_size)
+
+
+def resnet_v2_50(batch_size: int = 64) -> ModelIR:
+    return _resnet(50, 2, batch_size)
+
+
+def resnet_v2_101(batch_size: int = 32) -> ModelIR:
+    return _resnet(101, 2, batch_size)
+
+
+def resnet_v2_152(batch_size: int = 32) -> ModelIR:
+    """The §2.2 motivating example: '363 parameters with an aggregate size
+    of 229.5 MB' and a ~4655-op training graph. Not part of Table 1's
+    evaluation set; exposed for the motivation experiment."""
+    return _resnet(152, 2, batch_size)

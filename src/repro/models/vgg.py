@@ -1,0 +1,38 @@
+"""VGG-16 and VGG-19 (Simonyan & Zisserman 2014), TF-slim variant.
+
+VGG-16: 32 parameter tensors, 527.8 MiB; VGG-19: 38 tensors, 548.1 MiB
+(Table 1). Slim implements the fc head as convolutions (fc6 is a 7x7
+VALID conv); parameters are weight/bias pairs with no batch norm.
+"""
+
+from __future__ import annotations
+
+from .builder import NetBuilder
+from .ir import ModelIR
+
+#: Convs per stage: VGG-16 has (2, 2, 3, 3, 3), VGG-19 has (2, 2, 4, 4, 4).
+_STAGE_CHANNELS = (64, 128, 256, 512, 512)
+
+
+def _vgg(name: str, convs_per_stage: tuple[int, ...], batch_size: int) -> ModelIR:
+    b = NetBuilder(name, batch_size, input_hw=(224, 224))
+    for stage, (n_convs, ch) in enumerate(zip(convs_per_stage, _STAGE_CHANNELS), start=1):
+        for i in range(1, n_convs + 1):
+            b.conv(f"conv{stage}/conv{stage}_{i}", 3, ch, bias=True, bn=False)
+        b.max_pool(f"pool{stage}", 2, 2)
+    b.conv("fc6", 7, 4096, padding="VALID", bias=True, bn=False)
+    b.dropout("dropout6")
+    b.conv("fc7", 1, 4096, bias=True, bn=False)
+    b.dropout("dropout7")
+    b.conv("fc8", 1, 1000, bias=True, bn=False, relu=False)
+    b.flatten("logits")
+    b.softmax("predictions")
+    return b.build()
+
+
+def vgg_16(batch_size: int = 32) -> ModelIR:
+    return _vgg("vgg_16", (2, 2, 3, 3, 3), batch_size)
+
+
+def vgg_19(batch_size: int = 32) -> ModelIR:
+    return _vgg("vgg_19", (2, 2, 4, 4, 4), batch_size)

@@ -1,0 +1,32 @@
+"""Parameter-server substrate: sharding, PS subgraphs, cluster assembly."""
+
+from .cluster import (
+    WORKLOADS,
+    ClusterGraph,
+    ClusterSpec,
+    Transfer,
+    build_cluster_graph,
+)
+from .reference import ReferencePartition, build_reference_partition
+from .sharding import (
+    STRATEGIES,
+    ps_device_names,
+    shard_loads,
+    shard_parameters,
+    worker_device_names,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "ClusterGraph",
+    "ClusterSpec",
+    "Transfer",
+    "build_cluster_graph",
+    "ReferencePartition",
+    "build_reference_partition",
+    "STRATEGIES",
+    "ps_device_names",
+    "shard_loads",
+    "shard_parameters",
+    "worker_device_names",
+]

@@ -1,0 +1,289 @@
+"""Model-Replica + Parameter-Server cluster graph assembly (§2.2, Fig. 2).
+
+One :class:`ClusterGraph` holds everything a single synchronous iteration
+executes, resource-tagged:
+
+* per worker, a model replica whose parameters enter through ``recv`` roots
+  (and, in training, whose gradients exit through ``send`` leaves);
+* per parameter on its PS shard, the paper's five-op PS subgraph —
+  ``read`` (serve last iteration's value), per-worker ``send`` activation,
+  the transfer itself, and in training per-worker gradient ``recv``
+  bookkeeping, ``aggregate`` and ``update``.
+
+A transfer is modeled as a single op occupying the directional channel
+``link:src->dst`` (gRPC's one-active-transfer-per-channel semantics, §5.1);
+the PS-side ``send``/``recv`` activations are zero-cost ops on the PS
+compute resource that preserve the paper's DAG structure and give the
+enforcement module its hand-off point.
+
+Iteration semantics: the graph covers one barrier-to-barrier iteration.
+``read`` ops have no dependency on this iteration's ``update`` (they serve
+the previous iteration's value); ``update`` ops are leaves consumed by the
+next iteration. The makespan of this DAG is the paper's iteration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..graph import Graph, Op, OpKind, Resource
+from ..models.emit import WORKER_INFERENCE, WORKER_TRAINING, emit_graph
+from ..models.ir import ModelIR
+from .sharding import ps_device_names, shard_parameters, worker_device_names
+
+WORKLOADS = ("inference", "training")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Cluster shape: W workers, S parameter servers, workload kind.
+
+    ``workload='inference'`` models the RL serving setup of Fig. 3 (agents
+    pull parameters and run forward passes); ``'training'`` is synchronous
+    SGD with gradient push and PS-side aggregation.
+    """
+
+    n_workers: int
+    n_ps: int
+    workload: str = "training"
+    sharding: str = "greedy"
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0 or self.n_ps <= 0:
+            raise ValueError("n_workers and n_ps must be positive")
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"workload must be one of {WORKLOADS}")
+
+    @property
+    def workers(self) -> list[str]:
+        return worker_device_names(self.n_workers)
+
+    @property
+    def ps(self) -> list[str]:
+        return ps_device_names(self.n_ps)
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One network transfer: the unit the enforcement module orders."""
+
+    op_id: int
+    param: str
+    src: str
+    dst: str
+    #: 'param' for PS->worker pulls (the recvs TicTac schedules) or 'grad'.
+    kind: str
+    #: which unrolled iteration this transfer belongs to (§5.1's counters
+    #: are per worker *per iteration*).
+    iteration: int = 0
+
+
+@dataclass
+class ClusterGraph:
+    """A fully assembled, resource-tagged cluster DAG (one iteration by
+    default; ``n_iterations > 1`` unrolls a pipelined window)."""
+
+    spec: ClusterSpec
+    model: ModelIR
+    graph: Graph
+    placement: dict[str, str]
+    #: every transfer, grouped by the link resource it occupies.
+    transfers_by_link: dict[Resource, list[Transfer]] = field(default_factory=dict)
+    #: op ids per worker device (for straggler accounting).
+    worker_ops: dict[str, list[int]] = field(default_factory=dict)
+    #: per-worker map param name -> recv transfer op id (last iteration).
+    param_recvs: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: op ids per unrolled iteration (for pipelined span accounting).
+    iteration_ops: dict[int, list[int]] = field(default_factory=dict)
+    n_iterations: int = 1
+
+    @property
+    def param_transfers(self) -> list[Transfer]:
+        return [
+            t
+            for transfers in self.transfers_by_link.values()
+            for t in transfers
+            if t.kind == "param"
+        ]
+
+    def _register_transfer(self, link: Resource, transfer: Transfer) -> None:
+        self.transfers_by_link.setdefault(link, []).append(transfer)
+
+
+def build_cluster_graph(
+    ir: ModelIR,
+    spec: ClusterSpec,
+    *,
+    placement: Optional[Mapping[str, str]] = None,
+    n_iterations: int = 1,
+) -> ClusterGraph:
+    """Assemble the cluster DAG for ``ir`` under ``spec``.
+
+    ``n_iterations=1`` (default) builds the barrier-to-barrier iteration
+    used throughout the paper's measurement protocol. ``n_iterations>1``
+    unrolls a pipelined window: in training, iteration k+1's ``read`` of a
+    parameter depends on its iteration-k ``update`` (per-parameter
+    pipelining across the barrier); in inference, iteration k+1's send
+    activations to an agent wait for that agent's iteration-k output (the
+    agent requests fresh parameters after acting).
+    """
+    if n_iterations <= 0:
+        raise ValueError("n_iterations must be positive")
+    if placement is None:
+        placement = shard_parameters(ir.params, spec.ps, spec.sharding)
+    else:
+        placement = dict(placement)
+        missing = [p.name for p in ir.params if p.name not in placement]
+        if missing:
+            raise ValueError(f"placement missing parameters, e.g. {missing[:3]}")
+
+    mode = WORKER_TRAINING if spec.workload == "training" else WORKER_INFERENCE
+    g = Graph(
+        f"{ir.name}/{spec.workload}/w{spec.n_workers}xps{spec.n_ps}"
+        + (f"/unrolled{n_iterations}" if n_iterations > 1 else "")
+    )
+    cluster = ClusterGraph(
+        spec=spec, model=ir, graph=g, placement=dict(placement),
+        n_iterations=n_iterations,
+    )
+    params = ir.params
+    training = spec.workload == "training"
+    replica = emit_graph(ir, mode, placement=placement)
+
+    #: iteration-(k-1) update op per param (training pipelining).
+    prev_update: dict[str, Op] = {}
+    #: iteration-(k-1) final output op per worker (inference agent loop).
+    prev_output: dict[str, Op] = {}
+    final_local_name = replica.output_ops[list(ir.nodes)[-1]]
+
+    for k in range(n_iterations):
+        prefix = f"it{k}/" if n_iterations > 1 else ""
+        iteration_op_ids: list[int] = []
+
+        # --- PS-side reads: serve the latest updated value ---------------
+        read_ops: dict[str, Op] = {}
+        for p in params:
+            ps_dev = placement[p.name]
+            deps = []
+            if p.name in prev_update:
+                deps.append(prev_update[p.name].op_id)
+            read_ops[p.name] = g.add_op(
+                f"{prefix}{ps_dev}/{p.name}/read",
+                OpKind.READ,
+                deps,
+                cost=0.0,
+                param=p.name,
+                device=ps_dev,
+                resource=Resource.compute(ps_dev),
+                timing_key=f"{p.name}/ps_read",
+            )
+            iteration_op_ids.append(read_ops[p.name].op_id)
+
+        # --- worker replicas, stitched to the PS subgraphs ---------------
+        grad_send_ops: dict[str, list[Op]] = {p.name: [] for p in params}
+        for worker in spec.workers:
+            compute = Resource.compute(worker)
+            mapping = g.merge(
+                replica.graph, rename=lambda n: f"{prefix}{worker}/{n}"
+            )
+            worker_op_ids = cluster.worker_ops.setdefault(worker, [])
+            recv_ids: dict[str, int] = {}
+            for src_op in replica.graph:
+                op = g.op(mapping[src_op.op_id])
+                op.device = worker
+                worker_op_ids.append(op.op_id)
+                iteration_op_ids.append(op.op_id)
+                if op.kind is OpKind.RECV:
+                    ps_dev = op.attrs["ps"]
+                    link = Resource.link(ps_dev, worker)
+                    op.resource = link
+                    recv_ids[op.param] = op.op_id
+                    cluster._register_transfer(
+                        link,
+                        Transfer(op.op_id, op.param, ps_dev, worker, "param", k),
+                    )
+                    # PS-side send activation: the §5.1 hand-off point.
+                    send_deps = [read_ops[op.param].op_id]
+                    if worker in prev_output:
+                        # agent loop: next pull requested after acting
+                        send_deps.append(prev_output[worker].op_id)
+                    send = g.add_op(
+                        f"{prefix}{ps_dev}/{op.param}/send->{worker}",
+                        OpKind.SEND,
+                        send_deps,
+                        cost=0.0,
+                        param=op.param,
+                        device=ps_dev,
+                        resource=Resource.compute(ps_dev),
+                        timing_key=f"{op.param}/ps_send",
+                        # Activation/bookkeeping op on the PS compute
+                        # resource; payload time lives on the recv op.
+                        activation_only=True,
+                    )
+                    iteration_op_ids.append(send.op_id)
+                    g.add_edge(send.op_id, op.op_id)
+                elif op.kind is OpKind.SEND:
+                    ps_dev = op.attrs["ps"]
+                    link = Resource.link(worker, ps_dev)
+                    op.resource = link
+                    grad_send_ops[op.param].append(op)
+                    cluster._register_transfer(
+                        link,
+                        Transfer(op.op_id, op.param, worker, ps_dev, "grad", k),
+                    )
+                else:
+                    op.resource = compute
+            cluster.param_recvs[worker] = recv_ids
+            if not training:
+                prev_output[worker] = g.op(f"{prefix}{worker}/{final_local_name}")
+
+        # --- training: gradient recv / aggregate / update per parameter --
+        if training:
+            for p in params:
+                ps_dev = placement[p.name]
+                ps_compute = Resource.compute(ps_dev)
+                recv_acts = []
+                for send_op in grad_send_ops[p.name]:
+                    recv_acts.append(
+                        g.add_op(
+                            f"{prefix}{ps_dev}/{p.name}/recv<-{send_op.device}",
+                            OpKind.RECV,
+                            [send_op.op_id],
+                            cost=0.0,
+                            param=p.name,
+                            device=ps_dev,
+                            resource=ps_compute,
+                            timing_key=f"{p.name}/ps_recv_grad",
+                            # PS-side activation: zero-cost bookkeeping,
+                            # not a second pass over the channel.
+                            activation_only=True,
+                        )
+                    )
+                agg = g.add_op(
+                    f"{prefix}{ps_dev}/{p.name}/aggregate",
+                    OpKind.AGGREGATE,
+                    [r.op_id for r in recv_acts],
+                    cost=float(spec.n_workers * p.n_elements),
+                    param=p.name,
+                    device=ps_dev,
+                    resource=ps_compute,
+                    timing_key=f"{p.name}/ps_aggregate",
+                )
+                update = g.add_op(
+                    f"{prefix}{ps_dev}/{p.name}/update",
+                    OpKind.UPDATE,
+                    [agg.op_id],
+                    cost=2.0 * p.n_elements,
+                    param=p.name,
+                    device=ps_dev,
+                    resource=ps_compute,
+                    timing_key=f"{p.name}/ps_update",
+                )
+                prev_update[p.name] = update
+                iteration_op_ids.extend(
+                    [r.op_id for r in recv_acts] + [agg.op_id, update.op_id]
+                )
+        cluster.iteration_ops[k] = iteration_op_ids
+
+    return cluster

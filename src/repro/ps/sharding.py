@@ -1,0 +1,68 @@
+"""Parameter placement across parameter servers.
+
+TensorFlow's ``replica_device_setter`` assigns variables to PS tasks either
+round-robin or by a greedy load-balancing strategy; both are provided.
+Placement determines which PS↔worker channel each parameter's transfers
+occupy, and therefore the per-channel load balance that Fig. 9 (PS scaling)
+probes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..models.ir import ParamTensor
+
+STRATEGIES = ("greedy", "round_robin")
+
+
+def ps_device_names(n_ps: int) -> list[str]:
+    if n_ps <= 0:
+        raise ValueError("need at least one parameter server")
+    return [f"ps:{j}" for j in range(n_ps)]
+
+
+def worker_device_names(n_workers: int) -> list[str]:
+    if n_workers <= 0:
+        raise ValueError("need at least one worker")
+    return [f"worker:{i}" for i in range(n_workers)]
+
+
+def shard_parameters(
+    params: Sequence[ParamTensor],
+    ps_devices: Sequence[str],
+    strategy: str = "greedy",
+) -> dict[str, str]:
+    """Map each parameter name to a PS device.
+
+    ``greedy`` (default, mirrors TF's ``GreedyLoadBalancingStrategy`` with a
+    byte-size load function): place parameters in definition order on the
+    currently least-loaded PS. ``round_robin`` cycles through PS tasks in
+    definition order.
+    """
+    if not ps_devices:
+        raise ValueError("ps_devices must be non-empty")
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; one of {STRATEGIES}")
+    placement: dict[str, str] = {}
+    if strategy == "round_robin":
+        for i, p in enumerate(params):
+            placement[p.name] = ps_devices[i % len(ps_devices)]
+        return placement
+    load = {d: 0 for d in ps_devices}
+    for p in params:
+        # min() is stable: ties go to the lowest-indexed PS, like TF.
+        target = min(ps_devices, key=lambda d: load[d])
+        placement[p.name] = target
+        load[target] += p.nbytes
+    return placement
+
+
+def shard_loads(
+    params: Sequence[ParamTensor], placement: dict[str, str]
+) -> dict[str, int]:
+    """Bytes hosted per PS device under ``placement``."""
+    loads: dict[str, int] = {}
+    for p in params:
+        loads[placement[p.name]] = loads.get(placement[p.name], 0) + p.nbytes
+    return loads

@@ -1,0 +1,23 @@
+"""Discrete-event simulation of Model-Replica + PS clusters."""
+
+from .config import COMPUTE_QUEUE_POLICIES, ENFORCEMENT_MODES, SimConfig
+from .engine import CompiledSimulation, IterationRecord
+from .metrics import IterationResult, SimulationResult, summarize_iteration
+from .pipeline import PipelinedResult, simulate_pipelined
+from .runner import prepare_schedule, simulate_cluster, speedup_vs_baseline
+
+__all__ = [
+    "COMPUTE_QUEUE_POLICIES",
+    "ENFORCEMENT_MODES",
+    "SimConfig",
+    "CompiledSimulation",
+    "IterationRecord",
+    "IterationResult",
+    "SimulationResult",
+    "summarize_iteration",
+    "PipelinedResult",
+    "simulate_pipelined",
+    "prepare_schedule",
+    "simulate_cluster",
+    "speedup_vs_baseline",
+]

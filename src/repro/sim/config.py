@@ -1,0 +1,94 @@
+"""Simulation configuration knobs.
+
+The defaults reproduce the paper's deployed system: sender-side counter
+enforcement in front of the gRPC channel (§5.1) with the residual
+reordering rate the paper measured (~0.5%), random executor tie-breaking
+(vanilla TensorFlow's behaviour for unprioritized ops), and the platform's
+own jitter. The alternatives exist for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+#: How a schedule's priorities are imposed on the network (§5.1 discusses
+#: all candidate points; the paper deploys ``sender``):
+#:
+#: * ``sender`` — per-(PS,worker,iteration) counters gate each transfer's
+#:   hand-off to the channel; hand-offs happen in priority order, channel
+#:   pipelining preserved (the paper's choice).
+#: * ``ready_queue`` — the idealized §3.1 semantics: the channel's ready
+#:   queue picks the lowest-priority-number transfer (random among ties
+#:   and unprioritized ops). No counters, no hand-off gating.
+#: * ``dag`` — the conservative alternative the paper rejects: transfer k
+#:   may not start until transfer k-1 has *completed* (as if chained by
+#:   DAG edges), forfeiting request/response pipelining.
+#: * ``none`` — ignore priorities entirely (vanilla TF baseline).
+ENFORCEMENT_MODES = ("sender", "ready_queue", "dag", "none")
+
+#: Ready-queue policy for compute resources: ``random`` models TF's
+#: nondeterministic executor; ``fifo`` is deterministic by ready time.
+COMPUTE_QUEUE_POLICIES = ("random", "fifo")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Knobs of one simulation run."""
+
+    seed: int = 0
+    enforcement: str = "sender"
+    compute_queue: str = "random"
+    #: probability that a hand-off lands one slot early in the gRPC queue
+    #: (the paper measured 0.4-0.5% residual out-of-order transfers).
+    grpc_reorder_prob: float = 0.005
+    #: override the platform's lognormal jitter sigma (None = platform's).
+    jitter_sigma: Optional[float] = None
+    #: wire-level multiplexing granularity. Distinct gRPC channels are
+    #: distinct TCP connections; a NIC shares bandwidth among them at
+    #: packet granularity. The simulator serves transfers in chunks of
+    #: this many bytes, round-robin across a NIC's channels, which
+    #: reproduces that fair sharing without per-packet events.
+    chunk_bytes: int = 4 * 2**20
+    #: iterations to simulate and how many leading ones to discard (the
+    #: paper discards 2 warm-up iterations and records 10).
+    iterations: int = 10
+    warmup: int = 0
+    #: keep per-op start/end arrays on each IterationResult (memory-heavy
+    #: for 1000-run experiments; summaries are always kept).
+    keep_op_times: bool = False
+    #: per-device compute slowdown factors, e.g. (("worker:2", 1.5),) makes
+    #: worker:2's compute ops 1.5x slower. Models the *system-level*
+    #: straggler source of §6.3 (preempted/oversubscribed cloud workers),
+    #: as opposed to the scheduling-induced source TicTac removes.
+    device_slowdown: tuple = ()
+    #: optional shared-fabric capacity: at most this many chunks in flight
+    #: across the whole network (None = unconstrained). The §7 future-work
+    #: knob — 'take into account congestion from the network fabric'.
+    fabric_slots: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.enforcement not in ENFORCEMENT_MODES:
+            raise ValueError(
+                f"enforcement must be one of {ENFORCEMENT_MODES}, got {self.enforcement!r}"
+            )
+        if self.compute_queue not in COMPUTE_QUEUE_POLICIES:
+            raise ValueError(
+                f"compute_queue must be one of {COMPUTE_QUEUE_POLICIES}"
+            )
+        if not 0.0 <= self.grpc_reorder_prob <= 1.0:
+            raise ValueError("grpc_reorder_prob must be in [0, 1]")
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        for entry in self.device_slowdown:
+            device, factor = entry
+            if factor <= 0:
+                raise ValueError(f"slowdown factor for {device!r} must be > 0")
+        if self.fabric_slots is not None and self.fabric_slots <= 0:
+            raise ValueError("fabric_slots must be positive or None")
+        if self.iterations <= 0 or self.warmup < 0 or self.warmup >= self.iterations + 1:
+            if self.iterations <= 0 or self.warmup < 0:
+                raise ValueError("iterations must be > 0 and warmup >= 0")
+
+    def with_(self, **changes) -> "SimConfig":
+        return replace(self, **changes)

@@ -1,0 +1,461 @@
+"""Discrete-event execution engine (the TensorFlow-runtime stand-in).
+
+Executes one cluster-iteration DAG over explicit resources:
+
+* one **compute resource** per device (worker or PS) executing one op at a
+  time, picking from its ready queue per the §3.1 rule — lowest priority
+  number first, uniformly random among ties and unprioritized ops;
+* one **egress NIC** per device and one **ingress NIC** per device. Every
+  worker↔PS pair has a directional *channel* (gRPC: one channel per pair);
+  a channel's transfers are serialized in hand-off order, and a NIC shares
+  its bandwidth across its channels the way a real NIC shares across TCP
+  connections — modeled by serving transfers in fixed-size **chunks**,
+  round-robin over channels, each chunk occupying the source egress and
+  destination ingress NICs exclusively for its wire time. A transfer
+  completes one RPC latency after its last chunk.
+
+Transfer ordering follows the configured enforcement mode (see
+:mod:`repro.sim.config`): the paper's sender-side counters gate each
+parameter transfer's *hand-off* (the zero-cost PS ``send`` activation op),
+so the channel still pipelines; ``dag`` mode holds each transfer until its
+priority predecessor has *completed* (the §5.1 strawman, which forfeits
+pipelining and pays one RPC latency per transfer); ``ready_queue`` applies
+priorities at the channel queue; ``none`` ignores priorities.
+
+The engine is deterministic given (cluster, platform, schedule, config,
+iteration index).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.schedules import Schedule
+from ..graph import OpKind, ResourceKind
+from ..ps.cluster import ClusterGraph
+from ..timing import Platform
+from .config import SimConfig
+
+# Event codes (heap entries are (time, seq, code, op_id)).
+_COMPUTE_DONE = 0
+_TRANSFER_DONE = 1
+_CHUNK_DONE = 2
+
+
+@dataclass
+class IterationRecord:
+    """Raw outcome of one simulated iteration."""
+
+    makespan: float
+    start: np.ndarray
+    end: np.ndarray
+    #: dedicated-resource duration of each op (oracle-style time: compute
+    #: time, or wire+latency for transfers) — the Time(op) of Eq. 1-3.
+    dedicated: np.ndarray
+    #: count of param transfers that hit the wire out of priority order
+    #: (the residual gRPC reordering the paper measured at 0.4-0.5%).
+    out_of_order_handoffs: int = 0
+
+
+class CompiledSimulation:
+    """A cluster graph compiled to flat arrays, executable per iteration."""
+
+    def __init__(
+        self,
+        cluster: ClusterGraph,
+        platform: Platform,
+        schedule: Optional[Schedule] = None,
+        config: Optional[SimConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.platform = platform
+        self.schedule = schedule if schedule is not None else Schedule("baseline")
+        self.config = config or SimConfig()
+        g = cluster.graph
+        n = self.n = len(g)
+
+        # --- dependency structure -------------------------------------
+        self.base_indeg = np.array([g.in_degree(i) for i in range(n)], dtype=np.int32)
+        succ_lists = [g.succ_ids(i) for i in range(n)]
+        self.succ_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum([len(s) for s in succ_lists], out=self.succ_indptr[1:])
+        self.succ_indices = (
+            np.fromiter((s for lst in succ_lists for s in lst), dtype=np.int64)
+            if self.succ_indptr[-1]
+            else np.zeros(0, dtype=np.int64)
+        )
+
+        # --- resources --------------------------------------------------
+        self._res_index: dict[str, int] = {}
+        self.is_transfer = np.zeros(n, dtype=bool)
+        self.op_res = np.full(n, -1, dtype=np.int64)  # compute ops
+        self.t_egress = np.full(n, -1, dtype=np.int64)
+        self.t_ingress = np.full(n, -1, dtype=np.int64)
+        self.base_dur = np.zeros(n)
+        self.wire_base = np.zeros(n)
+        self.lat = np.zeros(n)
+        for op in g:
+            if op.resource is None:
+                raise ValueError(f"op {op.name!r} has no resource tag")
+            if op.resource.kind is ResourceKind.LINK:
+                src, dst = op.resource.name[len("link:"):].split("->")
+                self.is_transfer[op.op_id] = True
+                self.t_egress[op.op_id] = self._rid(f"nic_out:{src}")
+                self.t_ingress[op.op_id] = self._rid(f"nic_in:{dst}")
+                self.wire_base[op.op_id] = op.cost / platform.bandwidth_bps
+                self.lat[op.op_id] = platform.rpc_latency_s
+            else:
+                self.op_res[op.op_id] = self._rid(op.resource.name)
+                self.base_dur[op.op_id] = platform.op_time(op)
+        self.n_res = len(self._res_index)
+        #: per egress NIC, the ordered list of ingress NICs it talks to.
+        self._egress_channel_order: dict[int, list[int]] = {}
+        for op_id in np.flatnonzero(self.is_transfer):
+            eid, iid = int(self.t_egress[op_id]), int(self.t_ingress[op_id])
+            chans = self._egress_channel_order.setdefault(eid, [])
+            if iid not in chans:
+                chans.append(iid)
+        self.chunk_wire = self.config.chunk_bytes / platform.bandwidth_bps
+        #: concurrent-capacity per resource: compute engines run one op at
+        #: a time; a NIC sustains platform.nic_slots(device) full-rate
+        #: connections (PS NICs are fatter than worker NICs in envG).
+        self.capacity = np.ones(self.n_res, dtype=np.int64)
+        for name, rid in self._res_index.items():
+            if name.startswith(("nic_out:", "nic_in:")):
+                device = name.split(":", 1)[1]
+                self.capacity[rid] = platform.nic_slots(device)
+
+        # --- enforcement gates & priorities ----------------------------
+        self.handoff_gate: dict[int, tuple[int, int]] = {}  # activation op -> (ch, rank)
+        self.dag_gate: dict[int, tuple[int, int]] = {}  # transfer op -> (ch, rank)
+        self.prio: dict[int, int] = {}  # transfer op -> priority rank
+        self.n_channels = 0
+        if not self.schedule.is_empty and self.config.enforcement != "none":
+            self._compile_gates(g)
+
+        self._jitter_sigma = (
+            platform.jitter_sigma
+            if self.config.jitter_sigma is None
+            else self.config.jitter_sigma
+        )
+
+        # Static per-op slowdown multipliers (compute ops of slow devices).
+        self.slowdown = np.ones(n)
+        if self.config.device_slowdown:
+            factors = dict(self.config.device_slowdown)
+            for op in g:
+                f = factors.get(op.device)
+                if f is not None and not self.is_transfer[op.op_id]:
+                    self.slowdown[op.op_id] = f
+        self.base_dur = self.base_dur * self.slowdown
+
+    # ------------------------------------------------------------------
+    def _rid(self, name: str) -> int:
+        rid = self._res_index.get(name)
+        if rid is None:
+            rid = self._res_index[name] = len(self._res_index)
+        return rid
+
+    def resource_names(self) -> list[str]:
+        """Resource names in id order (compute + NIC resources)."""
+        return [name for name, _ in sorted(self._res_index.items(), key=lambda kv: kv[1])]
+
+    def _compile_gates(self, g) -> None:
+        mode = self.config.enforcement
+        for link, transfers in sorted(
+            self.cluster.transfers_by_link.items(), key=lambda kv: kv[0].name
+        ):
+            # One §5.1 counter per (channel, iteration): unrolled windows
+            # restart the count every iteration, exactly as deployed.
+            by_iteration: dict[int, list] = {}
+            for t in transfers:
+                if t.kind == "param":
+                    by_iteration.setdefault(t.iteration, []).append(t)
+            for k in sorted(by_iteration):
+                group = by_iteration[k]
+                by_param = {t.param: t for t in group}
+                ranks = self.schedule.normalized([t.param for t in group])
+                ch = self.n_channels
+                self.n_channels += 1
+                for param, rank in ranks.items():
+                    op_id = by_param[param].op_id
+                    if mode == "ready_queue":
+                        self.prio[op_id] = rank
+                    elif mode == "dag":
+                        self.dag_gate[op_id] = (ch, rank)
+                    else:  # sender
+                        activation = self._find_activation(g, op_id)
+                        self.handoff_gate[activation] = (ch, rank)
+
+    @staticmethod
+    def _find_activation(g, transfer_op_id: int) -> int:
+        """The PS-side send-activation op feeding a param transfer (§5.1's
+        hand-off point)."""
+        for pred in g.predecessors(transfer_op_id):
+            if pred.kind is OpKind.SEND and pred.attrs.get("activation_only"):
+                return pred.op_id
+        raise ValueError(
+            f"param transfer {g.op(transfer_op_id).name!r} has no send activation"
+        )
+
+    # ------------------------------------------------------------------
+    def run_iteration(self, iteration: int = 0) -> IterationRecord:
+        """Execute one iteration; deterministic in ``iteration`` and config."""
+        cfg = self.config
+        rng = np.random.default_rng(np.random.SeedSequence((cfg.seed, iteration)))
+        n = self.n
+        if self._jitter_sigma > 0:
+            factors = rng.lognormal(0.0, self._jitter_sigma, n)
+        else:
+            factors = np.ones(n)
+        dur = self.base_dur * factors
+        wire = self.wire_base * factors
+        chunk_of = self.chunk_wire * factors  # per-transfer jittered chunk time
+        dedicated = np.where(self.is_transfer, wire + self.lat, dur)
+
+        indeg = self.base_indeg.copy()
+        start = np.full(n, np.nan)
+        end = np.full(n, np.nan)
+        active = np.zeros(self.n_res, dtype=np.int64)
+        cap = self.capacity
+        cqueues: list[list[int]] = [[] for _ in range(self.n_res)]  # compute queues
+        # per (egress, ingress) channel: FIFO of handed-off transfers and a
+        # flag marking a chunk currently on the wire (a gRPC channel is one
+        # TCP connection: its chunks serialize at the connection rate).
+        chq: dict[tuple[int, int], list[int]] = {}
+        ch_busy: dict[tuple[int, int], bool] = {}
+        rr_ptr: dict[int, int] = {eid: 0 for eid in self._egress_channel_order}
+        rem_wire = wire.copy()  # outstanding wire seconds per transfer
+        started = np.zeros(n, dtype=bool)
+        ch_handoff = [0] * self.n_channels  # sender counters (§5.1)
+        ch_complete = [0] * self.n_channels  # dag-mode completion counters
+        fabric_cap = cfg.fabric_slots  # shared-fabric congestion (§7)
+        fabric_active = 0
+
+        heap: list[tuple[float, int, int, int]] = []
+        seq = 0
+
+        def push(t: float, code: int, op: int) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (t, seq, code, op))
+            seq += 1
+
+        random_compute = cfg.compute_queue == "random"
+        mode = cfg.enforcement
+        noise = cfg.grpc_reorder_prob if mode == "sender" else 0.0
+
+        # --- compute dispatch -------------------------------------------
+        def pick_compute(queue: list[int]) -> int:
+            if self.handoff_gate:
+                eligible = [
+                    k
+                    for k, op in enumerate(queue)
+                    if op not in self.handoff_gate
+                    or ch_handoff[self.handoff_gate[op][0]] == self.handoff_gate[op][1]
+                ]
+            else:
+                eligible = list(range(len(queue)))
+            if not eligible:
+                return -1
+            if random_compute and len(eligible) > 1:
+                return eligible[rng.integers(len(eligible))]
+            return eligible[0]
+
+        def dispatch_compute(rid: int, t: float) -> None:
+            if active[rid] >= cap[rid] or not cqueues[rid]:
+                return
+            k = pick_compute(cqueues[rid])
+            if k < 0:
+                return
+            op = cqueues[rid].pop(k)
+            gate = self.handoff_gate.get(op)
+            if gate is not None:
+                ch_handoff[gate[0]] += 1
+            active[rid] += 1
+            start[op] = t
+            push(t + dur[op], _COMPUTE_DONE, op)
+
+        # --- transfer dispatch (chunked, round-robin over channels) ------
+        def pick_head(queue: list[int]) -> int:
+            """Choose which queued transfer transmits next on a channel.
+
+            Returns an index into ``queue`` or -1 if the channel is gated.
+            Once a transfer has started it keeps the channel until done.
+            """
+            if started[queue[0]]:
+                return 0
+            if mode == "ready_queue" and self.prio:
+                prios = [self.prio.get(op) for op in queue]
+                known = [p for p in prios if p is not None]
+                lowest = min(known) if known else None
+                cands = [k for k, p in enumerate(prios) if p is None or p == lowest]
+                return cands[rng.integers(len(cands))] if len(cands) > 1 else cands[0]
+            if mode == "none" and len(queue) > 1:
+                return int(rng.integers(len(queue)))
+            if mode == "dag" and self.dag_gate:
+                # Hand-offs are unordered in this mode; find the transfer
+                # whose DAG predecessor chain is satisfied.
+                for k, op in enumerate(queue):
+                    gate = self.dag_gate.get(op)
+                    if gate is None or ch_complete[gate[0]] == gate[1]:
+                        return k
+                return -1
+            return 0
+
+        def dispatch_egress(eid: int, t: float) -> None:
+            nonlocal fabric_active
+            chans = self._egress_channel_order.get(eid)
+            if not chans:
+                return
+            while active[eid] < cap[eid] and (
+                fabric_cap is None or fabric_active < fabric_cap
+            ):
+                ptr = rr_ptr[eid]
+                progressed = False
+                for step in range(len(chans)):
+                    iid = chans[(ptr + step) % len(chans)]
+                    key = (eid, iid)
+                    if active[iid] >= cap[iid] or ch_busy.get(key):
+                        continue
+                    queue = chq.get(key)
+                    if not queue:
+                        continue
+                    k = pick_head(queue)
+                    if k < 0:
+                        continue
+                    if k != 0:
+                        queue[0], queue[k] = queue[k], queue[0]
+                    op = queue[0]
+                    if not started[op]:
+                        started[op] = True
+                        start[op] = t
+                    cdur = min(rem_wire[op], chunk_of[op])
+                    rem_wire[op] -= cdur
+                    if rem_wire[op] <= 1e-18:
+                        queue.pop(0)  # wire done; channel moves on (pipelining)
+                        push(t + cdur + self.lat[op], _TRANSFER_DONE, op)
+                    active[eid] += 1
+                    active[iid] += 1
+                    fabric_active += 1
+                    ch_busy[key] = True
+                    push(t + cdur, _CHUNK_DONE, op)
+                    rr_ptr[eid] = ((ptr + step) % len(chans)) + 1
+                    progressed = True
+                    break
+                if not progressed:
+                    return
+
+        def all_egress_dispatch(t: float) -> None:
+            for eid in self._egress_channel_order:
+                dispatch_egress(eid, t)
+
+        def make_ready(op: int, t: float) -> None:
+            if self.is_transfer[op]:
+                key = (int(self.t_egress[op]), int(self.t_ingress[op]))
+                q = chq.setdefault(key, [])
+                q.append(op)
+                # residual gRPC reordering: occasionally a hand-off slips
+                # one slot (the paper measured 0.4-0.5% of transfers).
+                if noise > 0 and len(q) >= 2 and rng.random() < noise:
+                    q[-1], q[-2] = q[-2], q[-1]
+                dispatch_egress(key[0], t)
+            else:
+                rid = self.op_res[op]
+                cqueues[rid].append(op)
+                dispatch_compute(rid, t)
+
+        # --- initialization -----------------------------------------------
+        for op in np.flatnonzero(self.base_indeg == 0):
+            make_ready(int(op), 0.0)
+
+        # --- main loop -----------------------------------------------------
+        succ_indptr, succ_indices = self.succ_indptr, self.succ_indices
+        while heap:
+            t, _, code, op = heapq.heappop(heap)
+            if code == _CHUNK_DONE:
+                eid, iid = int(self.t_egress[op]), int(self.t_ingress[op])
+                active[eid] -= 1
+                active[iid] -= 1
+                fabric_active -= 1
+                ch_busy[(eid, iid)] = False
+                dispatch_egress(eid, t)
+                # the freed ingress (or fabric slot) may unblock transfers
+                # queued at other NICs
+                if active[iid] < cap[iid] or fabric_cap is not None:
+                    for other in self._egress_channel_order:
+                        if other != eid:
+                            dispatch_egress(other, t)
+                continue
+            end[op] = t
+            if code == _COMPUTE_DONE:
+                rid = self.op_res[op]
+                active[rid] -= 1
+                dispatch_compute(rid, t)
+            else:  # _TRANSFER_DONE
+                gate_info = self.dag_gate.get(op)
+                if gate_info is not None:
+                    ch_complete[gate_info[0]] += 1
+                    all_egress_dispatch(t)  # dag gates may have opened
+            for j in range(succ_indptr[op], succ_indptr[op + 1]):
+                s = int(succ_indices[j])
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    make_ready(s, t)
+
+        if np.isnan(end).any():  # pragma: no cover - would indicate a bug
+            stuck = int(np.isnan(end).sum())
+            raise RuntimeError(f"simulation deadlock: {stuck} ops never ran")
+        return IterationRecord(
+            makespan=float(np.nanmax(end)),
+            start=start,
+            end=end,
+            dedicated=dedicated,
+            out_of_order_handoffs=self._count_out_of_order(start),
+        )
+
+    # ------------------------------------------------------------------
+    def _count_out_of_order(self, start: np.ndarray) -> int:
+        """Param transfers that hit the wire out of priority order."""
+        if self.schedule.is_empty or self.config.enforcement == "none":
+            return 0
+        count = 0
+        for link, transfers in self.cluster.transfers_by_link.items():
+            by_iteration: dict[int, list] = {}
+            for t in transfers:
+                if t.kind == "param":
+                    by_iteration.setdefault(t.iteration, []).append(t)
+            for group in by_iteration.values():
+                ranks = self.schedule.normalized([t.param for t in group])
+                ordered = sorted(group, key=lambda t: start[t.op_id])
+                for pos, t in enumerate(ordered):
+                    if ranks[t.param] != pos:
+                        count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def resource_loads(self, record: IterationRecord) -> dict[str, float]:
+        """Dedicated-time load per effective resource for one iteration:
+        compute loads plus per-NIC wire loads (a transfer loads both its
+        egress and its ingress NIC; multi-slot NICs divide their load by
+        their slot count). This is Eq. 2's inner sum under the simulator's
+        true resource model."""
+        names = self.resource_names()
+        loads = np.zeros(self.n_res)
+        wire_actual = record.dedicated - self.lat  # wire component
+        for op_id in range(self.n):
+            if self.is_transfer[op_id]:
+                loads[self.t_egress[op_id]] += wire_actual[op_id]
+                loads[self.t_ingress[op_id]] += wire_actual[op_id]
+            else:
+                loads[self.op_res[op_id]] += record.end[op_id] - record.start[op_id]
+        loads /= self.capacity
+        out = dict(zip(names, loads.tolist()))
+        if self.config.fabric_slots is not None:
+            out["fabric"] = float(
+                wire_actual[self.is_transfer].sum() / self.config.fabric_slots
+            )
+        return out

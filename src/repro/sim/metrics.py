@@ -1,0 +1,152 @@
+"""Per-iteration and per-run measurements (§6's reported quantities).
+
+* **iteration time** — barrier-to-barrier makespan of the cluster DAG;
+* **throughput** — ``W x batch / iteration_time`` samples/second (the
+  paper's headline metric);
+* **straggler time %** — maximum time any worker spends waiting for the
+  slowest worker, as a fraction of iteration time (§6.3);
+* **scheduling efficiency** — Eq. 3 over the iteration: ``U`` sums every
+  op's dedicated (oracle-style) time, ``L`` maxes dedicated load over the
+  effective resources (device compute engines and NICs), ``m`` is the
+  measured makespan. ``E -> 1`` means the run packed the bottleneck
+  resource perfectly; random transfer orders leave the bottleneck idle and
+  score low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.efficiency import EfficiencyReport
+from .engine import CompiledSimulation, IterationRecord
+
+
+@dataclass
+class IterationResult:
+    """Summarized outcome of one iteration."""
+
+    makespan: float
+    worker_finish: dict[str, float]
+    #: Eq. 1-3 over the whole iteration.
+    efficiency: EfficiencyReport
+    out_of_order_handoffs: int = 0
+    #: raw per-op times; kept only when SimConfig.keep_op_times is set.
+    start: Optional[np.ndarray] = None
+    end: Optional[np.ndarray] = None
+
+    @property
+    def straggler_pct(self) -> float:
+        """Max worker wait relative to iteration time, in percent (§6.3)."""
+        finishes = list(self.worker_finish.values())
+        if len(finishes) <= 1 or self.makespan == 0:
+            return 0.0
+        return (max(finishes) - min(finishes)) / self.makespan * 100.0
+
+
+@dataclass
+class SimulationResult:
+    """All recorded iterations of one simulated run."""
+
+    model: str
+    batch_size: int
+    n_workers: int
+    n_ps: int
+    workload: str
+    algorithm: str
+    platform: str
+    iterations: list[IterationResult] = field(default_factory=list)
+    #: iterations discarded as warm-up (kept for reference).
+    warmup: list[IterationResult] = field(default_factory=list)
+    #: parameter-tensor count of the model (for out-of-order rates).
+    n_params: int = 0
+
+    @property
+    def iteration_times(self) -> np.ndarray:
+        return np.array([it.makespan for it in self.iterations])
+
+    @property
+    def mean_iteration_time(self) -> float:
+        return float(self.iteration_times.mean())
+
+    @property
+    def throughput(self) -> float:
+        """Mean samples/second across recorded iterations (training and
+        inference alike process W x batch samples per iteration)."""
+        return self.n_workers * self.batch_size / self.mean_iteration_time
+
+    @property
+    def max_straggler_pct(self) -> float:
+        """The paper reports the max across iterations (§6 Setup)."""
+        return max(it.straggler_pct for it in self.iterations)
+
+    @property
+    def mean_straggler_pct(self) -> float:
+        return float(np.mean([it.straggler_pct for it in self.iterations]))
+
+    @property
+    def efficiencies(self) -> np.ndarray:
+        return np.array([it.efficiency.efficiency for it in self.iterations])
+
+    @property
+    def max_efficiency(self) -> float:
+        return float(self.efficiencies.max())
+
+    @property
+    def mean_efficiency(self) -> float:
+        return float(self.efficiencies.mean())
+
+    @property
+    def out_of_order_rate(self) -> float:
+        """Fraction of param transfers that hit the wire out of priority
+        order (compare against the paper's measured 0.4-0.5%)."""
+        total = sum(it.out_of_order_handoffs for it in self.iterations)
+        denom = self.n_params * self.n_workers * max(len(self.iterations), 1)
+        return total / denom if denom else 0.0
+
+    def summary(self) -> dict:
+        """Flat dict for CSV reporting."""
+        return {
+            "model": self.model,
+            "workload": self.workload,
+            "algorithm": self.algorithm,
+            "platform": self.platform,
+            "workers": self.n_workers,
+            "ps": self.n_ps,
+            "batch": self.batch_size,
+            "iteration_time_s": self.mean_iteration_time,
+            "iteration_time_p95_s": float(np.percentile(self.iteration_times, 95)),
+            "throughput_sps": self.throughput,
+            "straggler_pct_max": self.max_straggler_pct,
+            "efficiency_mean": self.mean_efficiency,
+        }
+
+
+def summarize_iteration(
+    sim: CompiledSimulation,
+    record: IterationRecord,
+    *,
+    keep_op_times: bool = False,
+) -> IterationResult:
+    """Reduce one raw :class:`IterationRecord` to its reported metrics."""
+    cluster = sim.cluster
+    finishes: dict[str, float] = {}
+    for worker, op_ids in cluster.worker_ops.items():
+        ids = np.asarray(op_ids)
+        finishes[worker] = float(record.end[ids].max())
+    loads = sim.resource_loads(record)
+    report = EfficiencyReport(
+        makespan=record.makespan,
+        upper=float(record.dedicated.sum()),
+        lower=max(loads.values()),
+    )
+    return IterationResult(
+        makespan=record.makespan,
+        worker_finish=finishes,
+        efficiency=report,
+        out_of_order_handoffs=record.out_of_order_handoffs,
+        start=record.start if keep_op_times else None,
+        end=record.end if keep_op_times else None,
+    )

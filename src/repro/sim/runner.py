@@ -1,0 +1,117 @@
+"""High-level simulation entry points.
+
+:func:`simulate_cluster` is the one call experiments make: model name ->
+schedule (via the ordering wizard) -> cluster graph -> compiled simulation
+-> recorded iterations with the paper's metrics. Mirrors the paper's
+measurement protocol: discard warm-up iterations, record the next N
+(§6 Setup: discard 2, record 10).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..core.schedules import Schedule
+from ..core.wizard import compute_schedule
+from ..models import build_model
+from ..models.ir import ModelIR
+from ..ps.cluster import ClusterGraph, ClusterSpec, build_cluster_graph
+from ..ps.reference import build_reference_partition
+from ..timing import Platform, estimate_time_oracle, get_platform
+from .config import SimConfig
+from .engine import CompiledSimulation
+from .metrics import SimulationResult, summarize_iteration
+
+
+def prepare_schedule(
+    ir: ModelIR,
+    spec: ClusterSpec,
+    algorithm: str,
+    platform: Platform,
+    *,
+    trace_runs: int = 5,
+    seed: int = 0,
+) -> Schedule:
+    """Offline ordering-wizard pass for a cluster configuration (§5):
+    build the reference worker partition, trace it for TAC's oracle,
+    run the heuristic."""
+    reference = build_reference_partition(
+        ir, workload=spec.workload, n_ps=spec.n_ps, sharding=spec.sharding
+    )
+    oracle = None
+    if algorithm == "tac":
+        oracle = estimate_time_oracle(
+            reference.graph, platform, runs=trace_runs, seed=seed
+        )
+    return compute_schedule(reference, algorithm, oracle=oracle, seed=seed)
+
+
+def simulate_cluster(
+    model: Union[str, ModelIR],
+    spec: ClusterSpec,
+    *,
+    algorithm: str = "baseline",
+    schedule: Optional[Schedule] = None,
+    platform: Union[str, Platform] = "envG",
+    config: Optional[SimConfig] = None,
+    batch_factor: float = 1.0,
+    cluster: Optional[ClusterGraph] = None,
+) -> SimulationResult:
+    """Simulate ``config.iterations`` iterations of one configuration.
+
+    Either pass a precomputed ``schedule`` or an ``algorithm`` name for the
+    wizard ('baseline', 'tic', 'tac', 'tic_plus', 'random', 'layerwise',
+    'reverse_layerwise'). ``cluster`` short-circuits graph assembly when
+    sweeping algorithms over one configuration.
+    """
+    plat = get_platform(platform) if isinstance(platform, str) else platform
+    cfg = config or SimConfig()
+    ir = model if isinstance(model, ModelIR) else build_model(model, batch_factor=batch_factor)
+    if cluster is None:
+        cluster = build_cluster_graph(ir, spec)
+    elif cluster.spec != spec:
+        raise ValueError("provided cluster graph was built for a different spec")
+    if schedule is None:
+        if algorithm == "baseline":
+            schedule = Schedule("baseline")
+        else:
+            schedule = prepare_schedule(ir, spec, algorithm, plat, seed=cfg.seed)
+
+    sim = CompiledSimulation(cluster, plat, schedule, cfg)
+    result = SimulationResult(
+        model=ir.name,
+        batch_size=ir.batch_size,
+        n_workers=spec.n_workers,
+        n_ps=spec.n_ps,
+        workload=spec.workload,
+        algorithm=schedule.algorithm,
+        platform=plat.name,
+        n_params=ir.n_param_tensors,
+    )
+    for i in range(cfg.warmup + cfg.iterations):
+        record = sim.run_iteration(i)
+        summary = summarize_iteration(sim, record, keep_op_times=cfg.keep_op_times)
+        (result.warmup if i < cfg.warmup else result.iterations).append(summary)
+    return result
+
+
+def speedup_vs_baseline(
+    model: Union[str, ModelIR],
+    spec: ClusterSpec,
+    *,
+    algorithm: str = "tic",
+    platform: Union[str, Platform] = "envG",
+    config: Optional[SimConfig] = None,
+    batch_factor: float = 1.0,
+) -> tuple[float, SimulationResult, SimulationResult]:
+    """Throughput gain of ``algorithm`` over the no-scheduling baseline, in
+    percent (the quantity plotted in Fig. 7, 9, 10, 13)."""
+    plat = get_platform(platform) if isinstance(platform, str) else platform
+    ir = model if isinstance(model, ModelIR) else build_model(model, batch_factor=batch_factor)
+    cluster = build_cluster_graph(ir, spec)
+    base = simulate_cluster(ir, spec, algorithm="baseline", platform=plat,
+                            config=config, cluster=cluster)
+    sched = simulate_cluster(ir, spec, algorithm=algorithm, platform=plat,
+                             config=config, cluster=cluster)
+    gain = (sched.throughput - base.throughput) / base.throughput * 100.0
+    return gain, sched, base

@@ -1,0 +1,37 @@
+"""Timing subsystem: oracles, platforms, tracing (§3.1, §5 of the paper)."""
+
+from .oracle import (
+    GeneralTimeOracle,
+    MappingTimeOracle,
+    PerturbedOracle,
+    TimeOracle,
+    TimeOracleLike,
+    oracle_from_runs,
+)
+from .platform import ENV_C, ENV_G, PLATFORMS, Platform, get_platform
+from .tracer import (
+    TraceRecord,
+    TracingModule,
+    estimate_time_oracle,
+    sample_ground_truth,
+    trace_platform_runs,
+)
+
+__all__ = [
+    "GeneralTimeOracle",
+    "MappingTimeOracle",
+    "PerturbedOracle",
+    "TimeOracle",
+    "TimeOracleLike",
+    "oracle_from_runs",
+    "ENV_C",
+    "ENV_G",
+    "PLATFORMS",
+    "Platform",
+    "get_platform",
+    "TraceRecord",
+    "TracingModule",
+    "estimate_time_oracle",
+    "sample_ground_truth",
+    "trace_platform_runs",
+]

@@ -1,0 +1,137 @@
+"""Tracing module and time-oracle estimator (§5).
+
+The paper extends TensorFlow's internal tracer to record per-op runtimes
+(including network transfers) over several executions; the time-oracle
+estimator then takes, for every op, the minimum across 5 measured runs.
+
+Here the role of "an execution" is played by either
+
+* an actual simulator run (:class:`TraceRecord` objects are produced by
+  :mod:`repro.sim`), or
+* a direct sample of the platform's jittered ground truth
+  (:func:`trace_platform_runs`) — equivalent in distribution and much
+  cheaper when all we need is the oracle.
+
+Both paths feed :func:`repro.timing.oracle.oracle_from_runs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..graph import Graph
+from .oracle import MappingTimeOracle, oracle_from_runs
+from .platform import Platform
+
+
+@dataclass
+class TraceRecord:
+    """Timing stats of one execution: op name -> measured duration (s).
+
+    ``makespan`` is the execution's end-to-end span (used by the efficiency
+    metric); ``meta`` carries free-form provenance (iteration number,
+    worker id, schedule label, ...).
+    """
+
+    times: dict[str, float]
+    makespan: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        bad = [n for n, t in self.times.items() if t < 0]
+        if bad:
+            raise ValueError(f"negative durations for ops {bad[:3]}...")
+
+
+class TracingModule:
+    """Accumulates :class:`TraceRecord` runs and estimates a time oracle.
+
+    Mirrors the paper's pipeline: *tracing module → time-oracle estimator →
+    ordering wizard*. The default ``runs=5`` and ``reducer='min'`` match §5.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def record(self, record: TraceRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        for r in records:
+            self.record(r)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def estimate_oracle(
+        self, *, runs: Optional[int] = 5, reducer: str = "min"
+    ) -> MappingTimeOracle:
+        """Estimate the time oracle from the first ``runs`` recorded runs
+        (all runs when ``runs`` is None)."""
+        selected = self._records if runs is None else self._records[:runs]
+        if not selected:
+            raise ValueError("no trace records collected yet")
+        return oracle_from_runs((r.times for r in selected), reducer=reducer)
+
+
+def sample_ground_truth(
+    graph: Graph,
+    platform: Platform,
+    rng: np.random.Generator,
+    *,
+    jitter_sigma: Optional[float] = None,
+) -> dict[str, float]:
+    """One jittered sample of every op's duration — what one instrumented
+    execution would measure.
+
+    Jitter is multiplicative lognormal (median 1), matching the simulator's
+    ground-truth draw, so a trace assembled from these samples is
+    distributed like a trace harvested from real simulator runs.
+    """
+    sigma = platform.jitter_sigma if jitter_sigma is None else jitter_sigma
+    base = platform.time_vector(graph)
+    if sigma > 0:
+        base = base * rng.lognormal(mean=0.0, sigma=sigma, size=base.shape)
+    return {op.name: float(base[op.op_id]) for op in graph}
+
+
+def trace_platform_runs(
+    graph: Graph,
+    platform: Platform,
+    *,
+    runs: int = 5,
+    seed: int = 0,
+    jitter_sigma: Optional[float] = None,
+) -> TracingModule:
+    """Collect ``runs`` ground-truth samples into a :class:`TracingModule`."""
+    if runs <= 0:
+        raise ValueError("runs must be positive")
+    rng = np.random.default_rng(seed)
+    tracer = TracingModule()
+    for i in range(runs):
+        times = sample_ground_truth(graph, platform, rng, jitter_sigma=jitter_sigma)
+        tracer.record(TraceRecord(times=times, makespan=sum(times.values()), meta={"run": i}))
+    return tracer
+
+
+def estimate_time_oracle(
+    graph: Graph,
+    platform: Platform,
+    *,
+    runs: int = 5,
+    seed: int = 0,
+    reducer: str = "min",
+) -> MappingTimeOracle:
+    """End-to-end §5 pipeline: trace ``runs`` executions, reduce per-op.
+
+    This is what experiments call to obtain the oracle TAC consumes.
+    """
+    tracer = trace_platform_runs(graph, platform, runs=runs, seed=seed)
+    return tracer.estimate_oracle(runs=runs, reducer=reducer)

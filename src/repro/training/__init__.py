@@ -1,0 +1,26 @@
+"""Numeric data-parallel training substrate (Fig. 8's accuracy check)."""
+
+from .dataset import SyntheticDataset, make_dataset
+from .network import Params, accuracy, forward_loss, gradients, init_params
+from .trainer import (
+    OrderingPolicy,
+    TrainLog,
+    baseline_ordering,
+    enforced_ordering,
+    train_data_parallel,
+)
+
+__all__ = [
+    "SyntheticDataset",
+    "make_dataset",
+    "Params",
+    "accuracy",
+    "forward_loss",
+    "gradients",
+    "init_params",
+    "OrderingPolicy",
+    "TrainLog",
+    "baseline_ordering",
+    "enforced_ordering",
+    "train_data_parallel",
+]

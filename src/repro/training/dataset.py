@@ -1,0 +1,74 @@
+"""Synthetic classification data (the ImageNet stand-in for Fig. 8).
+
+The paper trains Inception v3 on ImageNet to show that enforced transfer
+ordering does not perturb learning (its Fig. 8 loss curves coincide), and
+separately reports <3% iteration-time difference between real and synthetic
+inputs. Since we cannot ship ImageNet, the numeric substrate trains on a
+reproducible synthetic task: Gaussian class prototypes plus noise, which a
+small network can make steady progress on — enough to exhibit a falling
+loss curve whose trajectory can be compared bit-for-bit across transfer
+orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """Fixed synthetic dataset: ``x`` (n, d), integer labels ``y`` (n,)."""
+
+    x: np.ndarray
+    y: np.ndarray
+    n_classes: int
+
+    @property
+    def n(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.x.shape[1]
+
+    def shard(self, worker: int, n_workers: int) -> "SyntheticDataset":
+        """Deterministic round-robin shard for data parallelism."""
+        if not 0 <= worker < n_workers:
+            raise ValueError(f"worker {worker} out of range for {n_workers}")
+        idx = np.arange(worker, self.n, n_workers)
+        return SyntheticDataset(self.x[idx], self.y[idx], self.n_classes)
+
+    def batches(self, batch_size: int, *, seed: int = 0):
+        """Infinite shuffled batch iterator (deterministic in ``seed``)."""
+        rng = np.random.default_rng(seed)
+        while True:
+            order = rng.permutation(self.n)
+            for i in range(0, self.n - batch_size + 1, batch_size):
+                sel = order[i : i + batch_size]
+                yield self.x[sel], self.y[sel]
+
+
+def make_dataset(
+    n_samples: int = 4096,
+    dim: int = 64,
+    n_classes: int = 10,
+    *,
+    noise: float = 1.0,
+    seed: int = 0,
+) -> SyntheticDataset:
+    """Gaussian prototype classification task.
+
+    Each class has a random unit-norm prototype; samples are
+    ``prototype + noise * N(0, I)``. ``noise=1`` keeps the task non-trivial
+    so the loss curve has visible structure over hundreds of iterations.
+    """
+    if n_samples <= 0 or dim <= 0 or n_classes <= 1:
+        raise ValueError("need n_samples > 0, dim > 0, n_classes > 1")
+    rng = np.random.default_rng(seed)
+    protos = rng.normal(size=(n_classes, dim))
+    protos /= np.linalg.norm(protos, axis=1, keepdims=True)
+    y = rng.integers(n_classes, size=n_samples)
+    x = protos[y] + noise * rng.normal(size=(n_samples, dim))
+    return SyntheticDataset(x=x.astype(np.float64), y=y, n_classes=n_classes)

@@ -1,0 +1,69 @@
+"""A small numpy MLP with per-tensor parameters (the numeric model whose
+parameters play the role of the DNN's transferable tensors).
+
+Parameters are held as an ordered dict of named tensors — mirroring how the
+real system moves one tensor per transfer — so the data-parallel trainer
+can receive/apply them in any order and demonstrate order-invariance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+Params = dict[str, np.ndarray]
+
+
+def init_params(
+    dim: int, hidden: int, n_classes: int, *, seed: int = 0
+) -> Params:
+    """He-initialized two-layer MLP parameters."""
+    rng = np.random.default_rng(seed)
+    return {
+        "fc1/weights": rng.normal(0, np.sqrt(2.0 / dim), size=(dim, hidden)),
+        "fc1/biases": np.zeros(hidden),
+        "fc2/weights": rng.normal(0, np.sqrt(2.0 / hidden), size=(hidden, n_classes)),
+        "fc2/biases": np.zeros(n_classes),
+    }
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def forward_loss(params: Mapping[str, np.ndarray], x: np.ndarray, y: np.ndarray) -> float:
+    """Mean cross-entropy of the MLP on a batch."""
+    h = np.maximum(x @ params["fc1/weights"] + params["fc1/biases"], 0.0)
+    probs = _softmax(h @ params["fc2/weights"] + params["fc2/biases"])
+    return float(-np.log(probs[np.arange(len(y)), y] + 1e-12).mean())
+
+
+def gradients(params: Mapping[str, np.ndarray], x: np.ndarray, y: np.ndarray) -> tuple[float, Params]:
+    """Loss and analytic gradients for one batch (plain backprop)."""
+    n = len(y)
+    a1 = x @ params["fc1/weights"] + params["fc1/biases"]
+    h = np.maximum(a1, 0.0)
+    logits = h @ params["fc2/weights"] + params["fc2/biases"]
+    probs = _softmax(logits)
+    loss = float(-np.log(probs[np.arange(n), y] + 1e-12).mean())
+    dlogits = probs.copy()
+    dlogits[np.arange(n), y] -= 1.0
+    dlogits /= n
+    grads: Params = {
+        "fc2/weights": h.T @ dlogits,
+        "fc2/biases": dlogits.sum(axis=0),
+    }
+    dh = dlogits @ params["fc2/weights"].T
+    dh[a1 <= 0.0] = 0.0
+    grads["fc1/weights"] = x.T @ dh
+    grads["fc1/biases"] = dh.sum(axis=0)
+    return loss, grads
+
+
+def accuracy(params: Mapping[str, np.ndarray], x: np.ndarray, y: np.ndarray) -> float:
+    h = np.maximum(x @ params["fc1/weights"] + params["fc1/biases"], 0.0)
+    logits = h @ params["fc2/weights"] + params["fc2/biases"]
+    return float((logits.argmax(axis=1) == y).mean())

@@ -1,0 +1,125 @@
+"""Numeric data-parallel SGD with a parameter server (Fig. 8's substrate).
+
+Reproduces the paper's accuracy-preservation argument: TicTac only permutes
+the order in which parameter tensors travel, never their values, so the
+training trajectory is unchanged. The trainer makes the transfer order an
+explicit, controllable step — each worker materializes its parameter copy
+tensor-by-tensor in the ordering policy's sequence, and gradients are
+shipped back in that sequence — so tests can assert *bit-identical* loss
+curves between the random baseline order and an enforced TIC-style order.
+
+Aggregation order at the PS is canonical (worker index), matching
+synchronous TensorFlow's accumulator semantics of waiting for all W
+gradients before applying; arrival order affects timing only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .dataset import SyntheticDataset
+from .network import Params, accuracy, gradients, init_params
+
+#: Produces a tensor-name ordering for (worker, iteration).
+OrderingPolicy = Callable[[int, int, list[str]], list[str]]
+
+
+def baseline_ordering(seed: int = 0) -> OrderingPolicy:
+    """Vanilla-TF behaviour: an arbitrary (random) order per worker per
+    iteration — every worker sees a different permutation every step."""
+
+    def policy(worker: int, iteration: int, names: list[str]) -> list[str]:
+        rng = np.random.default_rng(np.random.SeedSequence((seed, worker, iteration)))
+        return [names[i] for i in rng.permutation(len(names))]
+
+    return policy
+
+
+def enforced_ordering(order: Optional[Sequence[str]] = None) -> OrderingPolicy:
+    """TicTac behaviour: one fixed order at every worker, every iteration.
+
+    ``order`` defaults to definition order; pass
+    ``schedule.order(param_names)`` to use a wizard-produced schedule.
+    """
+    fixed = list(order) if order is not None else None
+
+    def policy(worker: int, iteration: int, names: list[str]) -> list[str]:
+        if fixed is None:
+            return list(names)
+        missing = [n for n in names if n not in fixed]
+        return [n for n in fixed if n in names] + missing
+
+    return policy
+
+
+@dataclass
+class TrainLog:
+    """Loss/accuracy trajectory of one training run."""
+
+    label: str
+    losses: list[float] = field(default_factory=list)
+    eval_accuracy: float = float("nan")
+
+    @property
+    def loss_array(self) -> np.ndarray:
+        return np.array(self.losses)
+
+
+def train_data_parallel(
+    dataset: SyntheticDataset,
+    *,
+    n_workers: int = 4,
+    batch_size: int = 32,
+    iterations: int = 500,
+    lr: float = 0.2,
+    hidden: int = 64,
+    ordering: Optional[OrderingPolicy] = None,
+    label: str = "run",
+    seed: int = 0,
+) -> TrainLog:
+    """Synchronous Model-Replica SGD over ``n_workers`` data shards.
+
+    Per iteration: each worker pulls the PS parameters (tensor order set by
+    ``ordering``), computes gradients on its shard's next batch, pushes
+    them back (same order); the PS averages all W gradients in canonical
+    worker order and applies SGD. The recorded loss is the worker-mean
+    pre-update batch loss, as TensorBoard would report.
+    """
+    if ordering is None:
+        ordering = baseline_ordering(seed)
+    ps_params: Params = init_params(dataset.dim, hidden, dataset.n_classes, seed=seed)
+    names = list(ps_params)
+    shards = [dataset.shard(w, n_workers) for w in range(n_workers)]
+    streams = [
+        shard.batches(batch_size, seed=seed * 1000 + w) for w, shard in enumerate(shards)
+    ]
+    log = TrainLog(label=label)
+    for it in range(iterations):
+        losses = []
+        grad_store: list[Params] = []
+        for w in range(n_workers):
+            # --- pull: materialize the replica in transfer order --------
+            recv_order = ordering(w, it, names)
+            if sorted(recv_order) != sorted(names):
+                raise ValueError("ordering policy must permute the tensor names")
+            replica: Params = {}
+            for name in recv_order:
+                replica[name] = ps_params[name].copy()
+            # --- local step ----------------------------------------------
+            x, y = next(streams[w])
+            loss, grads = gradients(replica, x, y)
+            losses.append(loss)
+            # The push order (same as recv_order in the real system)
+            # affects timing only; aggregation below is canonical-order.
+            grad_store.append(grads)
+        for name in names:
+            total = np.zeros_like(ps_params[name])
+            for w in range(n_workers):
+                total += grad_store[w][name]
+            ps_params[name] = ps_params[name] - lr * (total / n_workers)
+        log.losses.append(float(np.mean(losses)))
+    log.eval_accuracy = accuracy(ps_params, dataset.x, dataset.y)
+    return log

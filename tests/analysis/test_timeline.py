@@ -1,0 +1,76 @@
+"""Timeline rendering and Chrome-trace export."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import ascii_gantt, chrome_trace, write_chrome_trace
+from repro.ps import ClusterSpec, build_cluster_graph
+from repro.sim import CompiledSimulation, SimConfig
+
+from ..conftest import tiny_model
+from ..sim.test_engine import FLAT
+
+
+@pytest.fixture(scope="module")
+def run():
+    cluster = build_cluster_graph(tiny_model(), ClusterSpec(2, 1, "training"))
+    sim = CompiledSimulation(cluster, FLAT, None, SimConfig(iterations=1))
+    return sim, sim.run_iteration(0)
+
+
+def test_gantt_has_all_busy_resources(run):
+    sim, record = run
+    text = ascii_gantt(sim, record)
+    assert "compute:worker:0" in text
+    assert "nic_out:ps:0" in text
+    assert "makespan" in text.splitlines()[0]
+    assert "#" in text
+
+
+def test_gantt_resource_filter(run):
+    sim, record = run
+    text = ascii_gantt(sim, record, resources=["compute:worker:0"])
+    assert "compute:worker:0" in text
+    assert "nic_out:ps:0" not in text
+
+
+def test_gantt_width_respected(run):
+    sim, record = run
+    text = ascii_gantt(sim, record, width=40)
+    bars = [l for l in text.splitlines()[1:]]
+    assert all(l.count("|") == 2 for l in bars)
+    inner = bars[0].split("|")[1]
+    assert len(inner) == 40
+
+
+def test_chrome_trace_events_well_formed(run):
+    sim, record = run
+    events = chrome_trace(sim, record)
+    slices = [e for e in events if e["ph"] == "X"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert slices and metas
+    for e in slices:
+        assert e["dur"] >= 0
+        assert e["ts"] >= 0
+        assert e["cat"] in ("compute", "transfer")
+    # every track has a name
+    tids = {e["tid"] for e in slices}
+    named = {e["tid"] for e in metas}
+    assert tids <= named
+
+
+def test_chrome_trace_covers_span(run):
+    sim, record = run
+    events = [e for e in chrome_trace(sim, record) if e["ph"] == "X"]
+    last_end = max(e["ts"] + e["dur"] for e in events)
+    assert last_end == pytest.approx(record.makespan * 1e6, rel=1e-6)
+
+
+def test_write_chrome_trace_roundtrip(run, tmp_path):
+    sim, record = run
+    path = write_chrome_trace(os.path.join(tmp_path, "t", "trace.json"),
+                              sim, record)
+    data = json.load(open(path))
+    assert isinstance(data, list) and len(data) > 10

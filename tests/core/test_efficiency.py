@@ -1,0 +1,103 @@
+"""Eq. 1-4: makespan bounds, scheduling efficiency, speedup."""
+
+import pytest
+
+from repro.core import (
+    EfficiencyReport,
+    lower_makespan,
+    scheduling_efficiency,
+    theoretical_speedup,
+    upper_makespan,
+)
+from repro.graph import PartitionedGraph
+
+from ..conftest import make_worker_graph
+
+
+@pytest.fixture
+def toy():
+    g = make_worker_graph(
+        {"recv1": [], "recv2": [], "op1": ["recv1"], "op2": ["op1", "recv2"]},
+        costs={"recv1": 1.0, "recv2": 1.0, "op1": 1.0, "op2": 1.0},
+    )
+    return PartitionedGraph(g)
+
+
+def times(partition):
+    return [op.cost for op in partition.graph]
+
+
+def test_upper_is_total_serialization(toy):
+    assert upper_makespan(toy.graph, times(toy)) == 4.0
+
+
+def test_lower_is_bottleneck_load(toy):
+    # link load 2, compute load 2 -> L = 2
+    assert lower_makespan(toy, times(toy)) == 2.0
+
+
+def test_lower_with_skewed_loads():
+    g = make_worker_graph(
+        {"recv1": [], "op1": ["recv1"]}, costs={"recv1": 10.0, "op1": 1.0}
+    )
+    assert lower_makespan(PartitionedGraph(g), [10.0, 1.0]) == 10.0
+
+
+def test_efficiency_extremes(toy):
+    t = times(toy)
+    best = scheduling_efficiency(toy, t, makespan=2.0)
+    worst = scheduling_efficiency(toy, t, makespan=4.0)
+    assert best.efficiency == 1.0
+    assert worst.efficiency == 0.0
+
+
+def test_efficiency_midpoint(toy):
+    report = scheduling_efficiency(toy, times(toy), makespan=3.0)
+    assert report.efficiency == pytest.approx(0.5)
+
+
+def test_fig1a_good_vs_bad_order(toy):
+    """Figure 1b/1c: good order finishes in 3, bad order in 4."""
+    t = times(toy)
+    good = scheduling_efficiency(toy, t, makespan=3.0)
+    bad = scheduling_efficiency(toy, t, makespan=4.0)
+    assert good.efficiency > bad.efficiency
+
+
+def test_speedup_eq4(toy):
+    # S = (U - L) / L = (4 - 2) / 2 = 1 -> "double the throughput"
+    assert theoretical_speedup(toy, times(toy)) == pytest.approx(1.0)
+
+
+def test_speedup_zero_when_one_resource_dominates():
+    g = make_worker_graph({"recv1": []}, costs={"recv1": 5.0})
+    part = PartitionedGraph(g)
+    # single loaded resource: U == L -> S = 0, E degenerates to 1
+    assert theoretical_speedup(part, [5.0]) == 0.0
+    assert scheduling_efficiency(part, [5.0], makespan=5.0).efficiency == 1.0
+
+
+def test_degenerate_zero_lower_bound():
+    report = EfficiencyReport(makespan=0.0, upper=0.0, lower=0.0)
+    assert report.efficiency == 1.0
+    assert report.speedup == 0.0
+
+
+def test_times_mapping_form(toy):
+    t = {op.op_id: op.cost for op in toy.graph}
+    assert upper_makespan(toy.graph, t) == 4.0
+
+
+def test_times_shape_validated(toy):
+    with pytest.raises(ValueError, match="shape"):
+        upper_makespan(toy.graph, [1.0, 2.0])
+
+
+def test_negative_times_rejected(toy):
+    with pytest.raises(ValueError, match="negative"):
+        upper_makespan(toy.graph, [-1.0, 1.0, 1.0, 1.0])
+
+
+def test_negative_makespan_rejected(toy):
+    with pytest.raises(ValueError, match="makespan"):
+        scheduling_efficiency(toy, times(toy), makespan=-1.0)

@@ -1,0 +1,70 @@
+"""Schedule semantics: ordering, §5.1 normalization, baselines."""
+
+import pytest
+
+from repro.core import (
+    Schedule,
+    layerwise_schedule,
+    no_schedule,
+    random_schedule,
+    reverse_layerwise_schedule,
+)
+
+
+def test_order_sorts_by_priority():
+    s = Schedule("x", {"a": 2, "b": 0, "c": 1})
+    assert s.order() == ["b", "c", "a"]
+
+
+def test_order_is_stable_within_ties():
+    s = Schedule("x", {"a": 0, "b": 0, "c": 0})
+    assert s.order(["c", "a", "b"]) == ["c", "a", "b"]
+
+
+def test_order_puts_unprioritized_last():
+    s = Schedule("x", {"a": 1})
+    assert s.order(["z", "a"]) == ["a", "z"]
+
+
+def test_normalized_is_dense_over_subset():
+    """§5.1: per channel, priorities become consecutive ints in [0, n)."""
+    s = Schedule("x", {"a": 10, "b": 40, "c": 20})
+    ranks = s.normalized(["b", "c"])
+    assert ranks == {"c": 0, "b": 1}
+
+
+def test_normalized_with_ties_and_missing():
+    s = Schedule("x", {"a": 0, "b": 0})
+    ranks = s.normalized(["b", "a", "zzz"])
+    assert sorted(ranks.values()) == [0, 1, 2]
+    assert ranks["zzz"] == 2
+
+
+def test_negative_priority_rejected():
+    with pytest.raises(ValueError, match="negative"):
+        Schedule("x", {"a": -1})
+
+
+def test_no_schedule_is_empty():
+    s = no_schedule()
+    assert s.is_empty
+    assert s.order() == []
+    assert s.algorithm == "baseline"
+
+
+def test_random_schedule_is_seeded_permutation():
+    params = [f"p{i}" for i in range(10)]
+    a = random_schedule(params, seed=1)
+    b = random_schedule(params, seed=1)
+    c = random_schedule(params, seed=2)
+    assert a.priorities == b.priorities
+    assert a.priorities != c.priorities
+    assert sorted(a.priorities.values()) == list(range(10))
+
+
+def test_layerwise_and_reverse_are_mirrors():
+    params = ["p0", "p1", "p2"]
+    fwd = layerwise_schedule(params)
+    rev = reverse_layerwise_schedule(params)
+    assert fwd.order() == params
+    assert rev.order() == list(reversed(params))

@@ -1,0 +1,82 @@
+"""Schedule persistence round trips."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import (
+    Schedule,
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+    tic,
+)
+from repro.ps import build_reference_partition
+
+from ..conftest import tiny_model
+
+
+def test_roundtrip_preserves_priorities(tmp_path):
+    schedule = Schedule("tac", {"b": 1, "a": 0}, meta={"wizard_seconds": 0.5})
+    path = save_schedule(tmp_path / "s.json", schedule)
+    loaded = load_schedule(path)
+    assert loaded.priorities == {"a": 0, "b": 1}
+    assert loaded.algorithm == "tac"
+    assert loaded.meta["wizard_seconds"] == 0.5
+
+
+def test_roundtrip_real_wizard_output(tmp_path):
+    ref = build_reference_partition(tiny_model(), workload="training", n_ps=1)
+    schedule = tic(ref.graph)
+    loaded = load_schedule(save_schedule(tmp_path / "tic.json", schedule))
+    assert loaded.priorities == dict(schedule.priorities)
+    # Tie order within a priority group is insignificant (§3.1) and may
+    # change across serialization (JSON sorts keys); the groups themselves
+    # must survive exactly.
+    def groups(s):
+        out = {}
+        for p, pr in s.priorities.items():
+            out.setdefault(pr, set()).add(p)
+        return out
+
+    assert groups(loaded) == groups(schedule)
+
+
+def test_document_is_stable_json(tmp_path):
+    schedule = Schedule("tic", {"x": 0})
+    p1 = save_schedule(tmp_path / "a.json", schedule)
+    p2 = save_schedule(tmp_path / "b.json", schedule)
+    assert open(p1).read() == open(p2).read()
+
+
+def test_non_serializable_meta_dropped():
+    schedule = Schedule("tic", {"x": 0}, meta={"ok": 1, "bad": object()})
+    doc = schedule_to_dict(schedule)
+    assert doc["meta"] == {"ok": 1}
+
+
+def test_version_checked():
+    with pytest.raises(ValueError, match="version"):
+        schedule_from_dict({"format_version": 99, "algorithm": "x",
+                            "priorities": {}})
+
+
+def test_missing_fields_rejected():
+    with pytest.raises(ValueError, match="missing"):
+        schedule_from_dict({"format_version": 1})
+
+
+def test_bad_priorities_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        schedule_from_dict(
+            {"format_version": 1, "algorithm": "x", "priorities": {"a": -2}}
+        )
+
+
+def test_creates_parent_directories(tmp_path):
+    path = save_schedule(tmp_path / "deep" / "dir" / "s.json",
+                         Schedule("tic", {"x": 0}))
+    assert os.path.exists(path)
+    assert json.load(open(path))["algorithm"] == "tic"

@@ -1,0 +1,77 @@
+"""Experiment drivers at micro scale: every table/figure regenerates."""
+
+import os
+
+import pytest
+
+from repro.experiments import Context, Scale, make_context
+from repro.experiments import common as common_mod
+from repro.experiments.cli import DRIVERS, main
+
+MICRO = Scale(
+    name="micro",
+    models=("AlexNet v2",),
+    worker_counts=(2,),
+    ps_counts=(1,),
+    iterations=2,
+    warmup=0,
+    consistency_runs=12,
+    loss_iterations=20,
+)
+
+
+@pytest.fixture
+def ctx(tmp_path):
+    return Context(scale=MICRO, results_dir=str(tmp_path), verbose=False)
+
+
+def test_make_context_env(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    assert make_context().scale.name == "quick"
+    monkeypatch.setenv("REPRO_SCALE", "full")
+    assert make_context().scale.name == "full"
+    monkeypatch.delenv("REPRO_SCALE")
+    monkeypatch.setenv("REPRO_FULL", "1")
+    assert make_context().scale.name == "full"
+    assert make_context(full=False).scale.name == "quick"
+
+
+def test_ps_for_workers_ratio():
+    assert [common_mod.ps_for_workers(w) for w in (1, 2, 4, 8, 16)] == [1, 1, 1, 2, 4]
+
+
+@pytest.mark.parametrize("name", sorted(DRIVERS))
+def test_driver_produces_rows_and_csv(ctx, name):
+    out = DRIVERS[name](ctx)
+    assert out.rows, f"{name} produced no rows"
+    assert os.path.exists(out.csv_path)
+    assert out.text
+
+
+def test_table1_rows_cover_all_models(ctx):
+    out = DRIVERS["table1"](ctx)
+    assert len(out.rows) == 10
+    assert all("params" in r and "ops_inf" in r for r in out.rows)
+
+
+def test_fig8_reports_identical_curves(ctx):
+    out = DRIVERS["fig8"](ctx)
+    assert out.extras["identical"] is True
+
+
+def test_fig12_extras_have_fit(ctx):
+    out = DRIVERS["fig12"](ctx)
+    assert 0.0 <= out.extras["r2"] <= 1.0
+    assert out.extras["p95_tac"] >= out.extras["p95_baseline"]
+
+
+def test_cli_runs_selected_driver(tmp_path, capsys):
+    rc = main(["table1", "--results-dir", str(tmp_path), "--quiet"])
+    assert rc == 0
+    assert os.path.exists(os.path.join(tmp_path, "table1_models.csv"))
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["figure99"])

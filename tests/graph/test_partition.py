@@ -1,0 +1,97 @@
+"""PartitionedGraph invariants and worker resource assignment."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    OpKind,
+    PartitionedGraph,
+    Resource,
+    ResourceKind,
+    assign_worker_resources,
+)
+
+from ..conftest import make_worker_graph
+
+
+def test_partition_groups_by_resource(fig1a):
+    part = PartitionedGraph(fig1a)
+    link = Resource.link("ps:0", "worker:0")
+    compute = Resource.compute("worker:0")
+    assert {r.name for r in part.resources} == {link.name, compute.name}
+    assert {op.name for op in part.ops_on(link)} == {"recv1", "recv2"}
+    assert {op.name for op in part.ops_on(compute)} == {"op1", "op2"}
+
+
+def test_partition_rejects_untagged_op():
+    g = Graph()
+    g.add_op("a")
+    with pytest.raises(GraphError, match="no resource tag"):
+        PartitionedGraph(g)
+
+
+def test_partition_rejects_transfer_on_compute():
+    g = Graph()
+    g.add_op("r", OpKind.RECV, resource=Resource.compute("worker:0"))
+    with pytest.raises(GraphError, match="non-link"):
+        PartitionedGraph(g)
+
+
+def test_partition_allows_activation_only_on_compute():
+    g = Graph()
+    g.add_op("s", OpKind.SEND, resource=Resource.compute("ps:0"),
+             activation_only=True)
+    PartitionedGraph(g)
+
+
+def test_partition_rejects_compute_on_link():
+    g = Graph()
+    g.add_op("a", OpKind.COMPUTE, resource=Resource.link("a", "b"))
+    with pytest.raises(GraphError, match="link resource"):
+        PartitionedGraph(g)
+
+
+def test_loads_default_to_costs():
+    g = make_worker_graph(
+        {"recv1": [], "op1": ["recv1"]}, costs={"recv1": 2.0, "op1": 5.0}
+    )
+    part = PartitionedGraph(g)
+    loads = part.load()
+    assert loads[Resource.link("ps:0", "worker:0")] == 2.0
+    assert loads[Resource.compute("worker:0")] == 5.0
+    assert part.bottleneck().kind is ResourceKind.COMPUTE
+
+
+def test_loads_accept_measured_times(fig1a):
+    part = PartitionedGraph(fig1a)
+    times = {op.op_id: 10.0 if op.is_recv else 1.0 for op in fig1a}
+    loads = part.load(times)
+    assert loads[Resource.link("ps:0", "worker:0")] == 20.0
+    assert part.bottleneck(times).kind is ResourceKind.LINK
+
+
+def test_assign_worker_resources_tags_everything():
+    g = Graph()
+    g.add_op("p/recv", OpKind.RECV, cost=4.0, param="p", ps="ps:1")
+    g.add_op("compute", inputs=["p/recv"])
+    g.add_op("p/send", OpKind.SEND, inputs=["compute"], param="p", ps="ps:1")
+    assign_worker_resources(g, "worker:3", ["ps:1"])
+    assert g.op("p/recv").resource == Resource.link("ps:1", "worker:3")
+    assert g.op("p/send").resource == Resource.link("worker:3", "ps:1")
+    assert g.op("compute").resource == Resource.compute("worker:3")
+    assert all(op.device == "worker:3" for op in g)
+
+
+def test_assign_worker_resources_requires_ps_attr():
+    g = Graph()
+    g.add_op("recv", OpKind.RECV)
+    with pytest.raises(GraphError, match="missing 'ps'"):
+        assign_worker_resources(g, "worker:0", ["ps:0"])
+
+
+def test_resource_constructors():
+    assert Resource.compute("worker:1").name == "compute:worker:1"
+    assert Resource.link("ps:0", "worker:1").name == "link:ps:0->worker:1"
+    assert Resource.compute("x").kind is ResourceKind.COMPUTE
+    assert Resource.link("a", "b").kind is ResourceKind.LINK

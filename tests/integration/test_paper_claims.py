@@ -1,0 +1,130 @@
+"""End-to-end reproduction of the paper's qualitative claims, at reduced
+scale. These are the tests that say 'the system behaves like TicTac', not
+just 'the code runs'."""
+
+import numpy as np
+import pytest
+
+from repro.core import tac, tic
+from repro.ps import ClusterSpec, build_cluster_graph, build_reference_partition
+from repro.sim import SimConfig, simulate_cluster, speedup_vs_baseline
+from repro.timing import ENV_G, estimate_time_oracle
+
+MODEL = "ResNet-50 v1"
+CFG = SimConfig(iterations=4, warmup=1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def training_pair():
+    spec = ClusterSpec(n_workers=4, n_ps=1, workload="training")
+    gain, sched, base = speedup_vs_baseline(
+        MODEL, spec, algorithm="tic", platform="envG", config=CFG
+    )
+    return gain, sched, base
+
+
+@pytest.fixture(scope="module")
+def inference_pair():
+    spec = ClusterSpec(n_workers=4, n_ps=1, workload="inference")
+    gain, sched, base = speedup_vs_baseline(
+        MODEL, spec, algorithm="tic", platform="envG", config=CFG
+    )
+    return gain, sched, base
+
+
+def test_tic_improves_training_throughput(training_pair):
+    gain, _, _ = training_pair
+    assert gain > 5.0  # the paper reports double-digit training gains
+
+
+def test_tic_improves_inference_throughput(inference_pair):
+    gain, _, _ = inference_pair
+    assert gain > 10.0
+
+
+def test_inference_gains_exceed_training(training_pair, inference_pair):
+    """§6.1: 'In general, we obtain higher gains in the inference phase
+    than training.'"""
+    assert inference_pair[0] > training_pair[0]
+
+
+def test_scheduling_reduces_stragglers(training_pair):
+    _, sched, base = training_pair
+    assert sched.max_straggler_pct < base.max_straggler_pct
+
+
+def test_efficiency_approaches_one_with_tic(training_pair):
+    """§6.2: 'across all models the efficiency metric approaches 1' under
+    scheduling; the baseline scatters lower."""
+    _, sched, base = training_pair
+    assert sched.mean_efficiency > 0.97
+    assert sched.mean_efficiency > base.mean_efficiency
+
+
+def test_step_time_variance_shrinks(training_pair):
+    """Fig. 12b: enforced ordering yields consistent step times."""
+    _, sched, base = training_pair
+    cv = lambda r: r.iteration_times.std() / r.iteration_times.mean()
+    assert cv(sched) < cv(base)
+
+
+def test_residual_out_of_order_rate_near_paper(training_pair):
+    """§5.1 measured 0.4-0.5% residual gRPC reordering; with the default
+    noise knob ours lands in the same decade."""
+    _, sched, _ = training_pair
+    assert 0.0 <= sched.out_of_order_rate < 0.03
+
+
+def test_tic_and_tac_comparable():
+    """Fig. 13: 'Performance of TIC is comparable to that of TAC'."""
+    ir_ref = build_reference_partition(
+        __import__("repro.models", fromlist=["build_model"]).build_model(MODEL),
+        workload="training", n_ps=1,
+    )
+    oracle = estimate_time_oracle(ir_ref.graph, ENV_G, seed=0)
+    s_tic = tic(ir_ref.graph)
+    s_tac = tac(ir_ref.graph, oracle)
+    spec = ClusterSpec(n_workers=2, n_ps=1, workload="training")
+    r_tic = simulate_cluster(MODEL, spec, schedule=s_tic, platform="envG", config=CFG)
+    r_tac = simulate_cluster(MODEL, spec, schedule=s_tac, platform="envG", config=CFG)
+    assert abs(r_tic.throughput - r_tac.throughput) / r_tac.throughput < 0.05
+
+
+def test_enforced_random_order_still_reduces_stragglers():
+    """§6.3: 'Enforcing any order reduces straggler effect regardless of
+    the quality of the chosen order.'"""
+    from repro.core import random_schedule
+    from repro.models import build_model
+
+    ir = build_model(MODEL)
+    spec = ClusterSpec(n_workers=4, n_ps=1, workload="training")
+    base = simulate_cluster(ir, spec, algorithm="baseline", platform="envG", config=CFG)
+    rand = simulate_cluster(
+        ir, spec,
+        schedule=random_schedule([p.name for p in ir.params], seed=3),
+        platform="envG", config=CFG,
+    )
+    assert rand.max_straggler_pct < base.max_straggler_pct
+    # ...even though a random order may not beat the baseline on speed.
+
+
+def test_envc_gains_exceed_envg():
+    """Fig. 13 vs Fig. 7: the 1 GbE cluster is more communication-bound,
+    so scheduling pays more there (for the same model/cluster shape)."""
+    spec = ClusterSpec(n_workers=4, n_ps=1, workload="inference")
+    gain_c, *_ = speedup_vs_baseline("Inception v2", spec, algorithm="tic",
+                                     platform="envC", config=CFG)
+    gain_g, *_ = speedup_vs_baseline("Inception v2", spec, algorithm="tic",
+                                     platform="envG", config=CFG)
+    assert gain_c > gain_g
+
+
+def test_wizard_cost_is_offline_and_small():
+    """§6: computing the heuristics takes ~10 s in the paper; ours is
+    well under that, and it is a one-time offline cost."""
+    from repro.models import build_model
+
+    ref = build_reference_partition(build_model("ResNet-101 v2"),
+                                    workload="training", n_ps=1)
+    schedule = tic(ref.graph)
+    assert schedule.meta["wizard_seconds"] < 10.0

@@ -1,0 +1,117 @@
+"""Per-architecture structural checks against published layouts."""
+
+import pytest
+
+from repro.models import build_model
+
+
+def params_of(name):
+    return [p.name for p in build_model(name).params]
+
+
+def test_alexnet_layer_roster():
+    names = params_of("AlexNet v2")
+    weights = [n for n in names if n.endswith("/weights")]
+    assert weights == [
+        "conv1/weights", "conv2/weights", "conv3/weights", "conv4/weights",
+        "conv5/weights", "fc6/weights", "fc7/weights", "fc8/weights",
+    ]
+
+
+def test_alexnet_conv1_shape():
+    ir = build_model("AlexNet v2")
+    conv1 = next(p for p in ir.params if p.name == "conv1/weights")
+    assert conv1.shape == (11, 11, 3, 64)
+
+
+def test_vgg16_has_13_convs_and_3_fc():
+    names = params_of("VGG-16")
+    convs = [n for n in names if n.startswith("conv") and n.endswith("/weights")]
+    fcs = [n for n in names if n.startswith("fc") and n.endswith("/weights")]
+    assert len(convs) == 13 and len(fcs) == 3
+
+
+def test_vgg_fc6_is_the_wall_tensor():
+    """fc6 (7x7x512x4096) dominates VGG's bytes — the transfer whose
+    placement in the order decides the baseline's fate."""
+    ir = build_model("VGG-16")
+    fc6 = next(p for p in ir.params if p.name == "fc6/weights")
+    assert fc6.shape == (7, 7, 512, 4096)
+    assert fc6.nbytes > 0.7 * max(p.nbytes for p in ir.params if p.name != "fc6/weights") * 6
+
+
+def test_inception_v1_has_9_modules():
+    ir = build_model("Inception v1")
+    concats = [n for n in ir.nodes if n.endswith("/concat")]
+    assert len(concats) == 9
+
+
+def test_inception_v1_conv_count():
+    names = params_of("Inception v1")
+    convs = [n for n in names if n.endswith("/weights")]
+    assert len(convs) == 57 + 1  # 57 convs + logits fc
+
+
+def test_inception_v2_separable_stem():
+    names = params_of("Inception v2")
+    assert "Conv2d_1a_7x7/depthwise/depthwise_weights" in names
+    assert "Conv2d_1a_7x7/pointwise/weights" in names
+
+
+def test_inception_v3_input_is_299():
+    ir = build_model("Inception v3")
+    assert ir.node("input").out_shape == (299, 299, 3)
+
+
+def test_inception_v3_has_aux_head():
+    ir = build_model("Inception v3")
+    assert ir.node("predictions").attrs["aux_head"] == "AuxLogits/flatten"
+    aux_params = [p for p in ir.params if p.name.startswith("AuxLogits")]
+    assert len(aux_params) == 6  # 2 BN convs (2x2) + conv-fc w+b
+
+
+def test_inception_v3_factorized_kernels():
+    ir = build_model("Inception v3")
+    k1x7 = [p for p in ir.params if p.shape[:2] == (1, 7)]
+    k7x1 = [p for p in ir.params if p.shape[:2] == (7, 1)]
+    assert k1x7 and k7x1
+
+
+@pytest.mark.parametrize(
+    "name, n_units",
+    [("ResNet-50 v1", 16), ("ResNet-101 v1", 33),
+     ("ResNet-50 v2", 16), ("ResNet-101 v2", 33)],
+)
+def test_resnet_unit_counts(name, n_units):
+    ir = build_model(name)
+    conv3s = [p for p in ir.params if p.name.endswith("conv3/weights")]
+    assert len(conv3s) == n_units
+
+
+@pytest.mark.parametrize("name", ["ResNet-50 v1", "ResNet-50 v2"])
+def test_resnet_four_projection_shortcuts(name):
+    ir = build_model(name)
+    shortcuts = [p for p in ir.params if "shortcut" in p.name and p.name.endswith("weights")]
+    assert len(shortcuts) == 4
+
+
+def test_resnet_v1_final_stage_width():
+    ir = build_model("ResNet-50 v1")
+    logits = next(p for p in ir.params if p.name == "logits/weights")
+    assert logits.shape == (2048, 1000)
+
+
+def test_resnet_spatial_progression():
+    ir = build_model("ResNet-50 v1")
+    # 224 -> conv1 s2 -> 112 -> pool s2 -> 56 -> stages s2 x3 -> 7
+    last_add = [n for n in ir.nodes if n.endswith("/add")][-1]
+    assert ir.node(last_add).out_shape[:2] == (7, 7)
+
+
+def test_all_models_end_in_softmax():
+    from repro.models import MODEL_NAMES
+
+    for name in MODEL_NAMES:
+        ir = build_model(name)
+        assert list(ir.nodes)[-1] == "predictions"
+        assert ir.node("predictions").out_shape == (1000,)

@@ -1,0 +1,34 @@
+"""Models referenced outside Table 1 (§2.2's ResNet-v2-152)."""
+
+import pytest
+
+from repro.models import EXTRA_MODEL_BUILDERS, build_model
+
+
+def test_resnet152_matches_section_2_2():
+    """'ResNet-v2-152 has 363 parameters with an aggregate size of
+    229.5 MB' — reproduced exactly by the zoo."""
+    ir = build_model("ResNet-152 v2")
+    assert ir.n_param_tensors == 363
+    assert ir.total_param_mib == pytest.approx(229.5, abs=0.1)
+
+
+def test_resnet152_unit_structure():
+    ir = build_model("ResNet-152 v2")
+    conv3s = [p for p in ir.params if p.name.endswith("conv3/weights")]
+    preacts = [p for p in ir.params if "preact" in p.name]
+    assert len(conv3s) == 3 + 8 + 36 + 3
+    assert len(preacts) == 50
+
+
+def test_extra_models_not_in_table1_sweeps():
+    from repro.models import MODEL_NAMES, PAPER_TABLE_1
+
+    assert "ResNet-152 v2" in EXTRA_MODEL_BUILDERS
+    assert "ResNet-152 v2" not in MODEL_NAMES
+    assert "ResNet-152 v2" not in PAPER_TABLE_1
+
+
+def test_extra_model_default_batch():
+    assert build_model("ResNet-152 v2").batch_size == 32
+    assert build_model("ResNet-152 v2", batch_factor=0.5).batch_size == 16

@@ -1,0 +1,185 @@
+"""Layer IR and shape-tracking builder."""
+
+import pytest
+
+from repro.models import ModelIR, Node, ParamTensor, conv_out_hw
+from repro.models.builder import NetBuilder
+
+
+# ----------------------------------------------------------------------
+# ParamTensor / Node / ModelIR
+# ----------------------------------------------------------------------
+def test_param_tensor_accounting():
+    p = ParamTensor("w", (3, 3, 64, 128))
+    assert p.n_elements == 3 * 3 * 64 * 128
+    assert p.nbytes == p.n_elements * 4
+
+
+def test_ir_rejects_duplicate_nodes():
+    ir = ModelIR("m", 4)
+    ir.add(Node("a", "input", [], (4,)))
+    with pytest.raises(ValueError, match="duplicate"):
+        ir.add(Node("a", "relu", [], (4,)))
+
+
+def test_ir_rejects_unknown_input():
+    ir = ModelIR("m", 4)
+    with pytest.raises(ValueError, match="unknown input"):
+        ir.add(Node("b", "relu", ["ghost"], (4,)))
+
+
+def test_ir_rejects_bad_batch():
+    with pytest.raises(ValueError, match="batch_size"):
+        ModelIR("m", 0)
+
+
+def test_validate_rejects_shared_param():
+    ir = ModelIR("m", 1)
+    p = ParamTensor("w", (2,))
+    ir.add(Node("a", "input", [], (2,)))
+    ir.add(Node("b", "fc", ["a"], (2,), params=[p]))
+    ir.add(Node("c", "fc", ["b"], (2,), params=[p]))
+    with pytest.raises(ValueError, match="two nodes"):
+        ir.validate()
+
+
+def test_consumers_map():
+    ir = ModelIR("m", 1)
+    ir.add(Node("a", "input", [], (2,)))
+    ir.add(Node("b", "relu", ["a"], (2,)))
+    ir.add(Node("c", "relu", ["a"], (2,)))
+    assert sorted(ir.consumers()["a"]) == ["b", "c"]
+
+
+# ----------------------------------------------------------------------
+# conv arithmetic
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "h, k, s, padding, expected",
+    [
+        (224, 3, 1, "SAME", 224),
+        (224, 3, 2, "SAME", 112),
+        (224, 7, 2, "SAME", 112),
+        (224, 11, 4, "VALID", 54),  # AlexNet conv1
+        (224, 7, 1, "VALID", 218),
+        (5, 5, 1, "VALID", 1),
+    ],
+)
+def test_conv_out_hw(h, k, s, padding, expected):
+    assert conv_out_hw(h, h, k, k, s, padding) == (expected, expected)
+
+
+def test_conv_valid_smaller_than_kernel_rejected():
+    with pytest.raises(ValueError, match="smaller than kernel"):
+        conv_out_hw(3, 3, 5, 5, 1, "VALID")
+
+
+def test_unknown_padding_rejected():
+    with pytest.raises(ValueError, match="padding"):
+        conv_out_hw(8, 8, 3, 3, 1, "HALF")
+
+
+# ----------------------------------------------------------------------
+# Builder shape inference and parameter conventions
+# ----------------------------------------------------------------------
+def test_conv_with_bn_has_weight_and_beta():
+    b = NetBuilder("m", 2, (8, 8), 3)
+    b.conv("c", 3, 16)
+    params = b.ir.params
+    assert [p.name for p in params] == ["c/weights", "c/BatchNorm/beta"]
+    assert params[0].shape == (3, 3, 3, 16)
+    assert params[1].shape == (16,)
+
+
+def test_conv_with_bias_no_bn():
+    b = NetBuilder("m", 2, (8, 8), 3)
+    b.conv("c", 3, 16, bias=True, bn=False)
+    assert [p.name for p in b.ir.params] == ["c/weights", "c/biases"]
+
+
+def test_conv_flops_formula():
+    b = NetBuilder("m", 4, (8, 8), 3)
+    b.conv("c", 3, 16, bn=False, relu=False)
+    node = b.ir.node("c")
+    assert node.flops == 2 * 3 * 3 * 3 * 16 * 8 * 8 * 4
+
+
+def test_conv_stride_changes_shape():
+    b = NetBuilder("m", 1, (32, 32), 3)
+    out = b.conv("c", 3, 8, stride=2)
+    assert b.ir.node(out).out_shape == (16, 16, 8)
+
+
+def test_asymmetric_kernel():
+    b = NetBuilder("m", 1, (17, 17), 4)
+    b.conv("c", (1, 7), 8, bn=False, relu=False)
+    assert b.ir.node("c").params[0].shape == (1, 7, 4, 8)
+    assert b.ir.node("c").out_shape == (17, 17, 8)
+
+
+def test_depthwise_conv_channels_multiply():
+    b = NetBuilder("m", 1, (16, 16), 3)
+    out = b.depthwise_conv("dw", 7, depth_multiplier=8, stride=2,
+                           bn=False, relu=False)
+    assert b.ir.node(out).out_shape == (8, 8, 24)
+    assert b.ir.node("dw").params[0].shape == (7, 7, 3, 8)
+
+
+def test_fc_flattens_spatial_input():
+    b = NetBuilder("m", 2, (4, 4), 8)
+    b.fc("logits", 10)
+    flat = b.ir.node("logits/flatten")
+    assert flat.out_shape == (4 * 4 * 8,)
+    assert b.ir.node("logits").params[0].shape == (128, 10)
+    assert b.ir.node("logits").flops == 2 * 128 * 10 * 2
+
+
+def test_concat_requires_matching_spatial():
+    b = NetBuilder("m", 1, (8, 8), 3)
+    a = b.conv("a", 3, 4)
+    c = b.conv("c", 3, 4, stride=2, input="input")
+    with pytest.raises(ValueError, match="spatial"):
+        b.concat("cat", [a, c])
+
+
+def test_concat_sums_channels():
+    b = NetBuilder("m", 1, (8, 8), 3)
+    a = b.conv("a", 3, 4)
+    c = b.conv("c", 3, 6, input="input")
+    out = b.concat("cat", [a, c])
+    assert b.ir.node(out).out_shape == (8, 8, 10)
+
+
+def test_add_requires_same_shape():
+    b = NetBuilder("m", 1, (8, 8), 3)
+    a = b.conv("a", 3, 4)
+    c = b.conv("c", 3, 6, input="input")
+    with pytest.raises(ValueError, match="mismatch"):
+        b.add("sum", a, c)
+
+
+def test_residual_add_with_relu():
+    b = NetBuilder("m", 1, (8, 8), 3)
+    a = b.conv("a", 3, 4)
+    c = b.conv("c", 3, 4, input="input")
+    out = b.add("sum", a, c, relu=True)
+    assert out == "sum/Relu"
+
+
+def test_global_avg_pool_collapses_spatial():
+    b = NetBuilder("m", 1, (7, 7), 32)
+    out = b.global_avg_pool("gap")
+    assert b.ir.node(out).out_shape == (32,)
+
+
+def test_batch_norm_standalone_has_beta():
+    b = NetBuilder("m", 1, (8, 8), 16)
+    b.batch_norm("preact", relu=True)
+    assert b.ir.node("preact").params[0].shape == (16,)
+
+
+def test_build_final_assertion():
+    b = NetBuilder("m", 1, (8, 8), 3)
+    b.conv("c", 3, 4)
+    with pytest.raises(ValueError, match="final node"):
+        b.build(final="something_else")

@@ -1,0 +1,71 @@
+"""Parameter placement strategies."""
+
+import pytest
+
+from repro.models.ir import ParamTensor
+from repro.ps import (
+    ps_device_names,
+    shard_loads,
+    shard_parameters,
+    worker_device_names,
+)
+
+
+def tensors(sizes):
+    return [ParamTensor(f"p{i}", (s,)) for i, s in enumerate(sizes)]
+
+
+def test_device_names():
+    assert ps_device_names(2) == ["ps:0", "ps:1"]
+    assert worker_device_names(3) == ["worker:0", "worker:1", "worker:2"]
+    with pytest.raises(ValueError):
+        ps_device_names(0)
+    with pytest.raises(ValueError):
+        worker_device_names(0)
+
+
+def test_round_robin_cycles():
+    params = tensors([1, 1, 1, 1, 1])
+    placement = shard_parameters(params, ["ps:0", "ps:1"], "round_robin")
+    assert [placement[p.name] for p in params] == [
+        "ps:0", "ps:1", "ps:0", "ps:1", "ps:0",
+    ]
+
+
+def test_greedy_balances_bytes():
+    # one huge tensor followed by many small: greedy sends smalls elsewhere
+    params = tensors([1000, 10, 10, 10, 10, 10])
+    placement = shard_parameters(params, ["ps:0", "ps:1"])
+    loads = shard_loads(params, placement)
+    assert placement["p0"] == "ps:0"
+    assert all(placement[f"p{i}"] == "ps:1" for i in range(1, 6))
+    assert loads["ps:0"] == 4000 and loads["ps:1"] == 200
+
+
+def test_greedy_beats_round_robin_on_skew():
+    params = tensors([100, 100, 1, 1, 1, 1])
+    g = shard_loads(params, shard_parameters(params, ["ps:0", "ps:1"], "greedy"))
+    r = shard_loads(params, shard_parameters(params, ["ps:0", "ps:1"], "round_robin"))
+    assert max(g.values()) <= max(r.values())
+
+
+def test_single_ps_takes_everything():
+    params = tensors([5, 5])
+    placement = shard_parameters(params, ["ps:0"])
+    assert set(placement.values()) == {"ps:0"}
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError, match="strategy"):
+        shard_parameters(tensors([1]), ["ps:0"], "hash")
+
+
+def test_empty_ps_list_rejected():
+    with pytest.raises(ValueError, match="non-empty"):
+        shard_parameters(tensors([1]), [])
+
+
+def test_greedy_ties_go_to_lowest_index():
+    params = tensors([7])
+    placement = shard_parameters(params, ["ps:0", "ps:1", "ps:2"])
+    assert placement["p0"] == "ps:0"

@@ -1,0 +1,126 @@
+"""Enforcement semantics (§5.1): exact order, counters, noise, modes."""
+
+import numpy as np
+import pytest
+
+from repro.core import Schedule
+from repro.ps import ClusterSpec, build_cluster_graph
+from repro.sim import CompiledSimulation, SimConfig
+
+from ..conftest import tiny_model
+from .test_engine import FLAT
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return build_cluster_graph(tiny_model(), ClusterSpec(2, 1, "training"))
+
+
+@pytest.fixture(scope="module")
+def schedule(cluster):
+    params = [p.name for p in cluster.model.params]
+    return Schedule("layerwise", {p: i for i, p in enumerate(params)})
+
+
+def wire_order(cluster, record, link):
+    transfers = [t for t in cluster.transfers_by_link[link] if t.kind == "param"]
+    return [t.param for t in sorted(transfers, key=lambda t: record.start[t.op_id])]
+
+
+def run(cluster, schedule, **cfg):
+    config = SimConfig(**{"iterations": 1, "grpc_reorder_prob": 0.0, **cfg})
+    sim = CompiledSimulation(cluster, FLAT, schedule, config)
+    return sim.run_iteration(0)
+
+
+@pytest.mark.parametrize("mode", ["sender", "dag"])
+def test_exact_order_without_noise(cluster, schedule, mode):
+    record = run(cluster, schedule, enforcement=mode)
+    expected = schedule.order([p.name for p in cluster.model.params])
+    for link, transfers in cluster.transfers_by_link.items():
+        if any(t.kind == "param" for t in transfers):
+            assert wire_order(cluster, record, link) == expected
+    assert record.out_of_order_handoffs == 0
+
+
+def test_same_order_at_every_worker(cluster, schedule):
+    """The cross-worker consistency that kills stragglers (§2.2)."""
+    record = run(cluster, schedule, enforcement="sender")
+    orders = [
+        tuple(wire_order(cluster, record, link))
+        for link, ts in cluster.transfers_by_link.items()
+        if any(t.kind == "param" for t in ts)
+    ]
+    assert len(set(orders)) == 1
+
+
+def test_noise_produces_residual_reordering(cluster, schedule):
+    """With the paper's measured slip rate, a few transfers land out of
+    order — but only a few."""
+    total = out = 0
+    for i in range(20):
+        config = SimConfig(iterations=1, grpc_reorder_prob=0.02, seed=i)
+        sim = CompiledSimulation(cluster, FLAT, schedule, config)
+        record = sim.run_iteration(i)
+        out += record.out_of_order_handoffs
+        total += len(cluster.param_transfers)
+    rate = out / total
+    assert 0.0 < rate < 0.15
+
+
+def test_none_mode_ignores_priorities(cluster, schedule):
+    record = run(cluster, schedule, enforcement="none")
+    expected = schedule.order([p.name for p in cluster.model.params])
+    mismatched = [
+        link
+        for link, ts in cluster.transfers_by_link.items()
+        if any(t.kind == "param" for t in ts)
+        and wire_order(cluster, record, link) != expected
+    ]
+    assert mismatched, "none-mode should not follow the schedule"
+    assert record.out_of_order_handoffs == 0  # audit disabled in none mode
+
+
+def test_ready_queue_mode_roughly_follows_priorities(cluster, schedule):
+    """Greedy priority queues respect relative order among *queued*
+    transfers; early hand-offs may overtake, so fidelity is approximate
+    (the §5.1 objection)."""
+    record = run(cluster, schedule, enforcement="ready_queue")
+    expected = schedule.order([p.name for p in cluster.model.params])
+    for link, ts in cluster.transfers_by_link.items():
+        if not any(t.kind == "param" for t in ts):
+            continue
+        got = wire_order(cluster, record, link)
+        # the very first prioritized transfer should win the wire early:
+        assert got.index(expected[0]) <= len(got) // 2
+
+
+def test_empty_schedule_disables_gates(cluster):
+    sim = CompiledSimulation(
+        cluster, FLAT, Schedule("baseline"), SimConfig(iterations=1)
+    )
+    assert not sim.handoff_gate and not sim.dag_gate and not sim.prio
+    assert sim.run_iteration(0).out_of_order_handoffs == 0
+
+
+def test_gates_compiled_per_mode(cluster, schedule):
+    sender = CompiledSimulation(cluster, FLAT, schedule,
+                                SimConfig(enforcement="sender"))
+    dag = CompiledSimulation(cluster, FLAT, schedule, SimConfig(enforcement="dag"))
+    rq = CompiledSimulation(cluster, FLAT, schedule,
+                            SimConfig(enforcement="ready_queue"))
+    n = len(cluster.param_transfers)
+    assert len(sender.handoff_gate) == n and not sender.dag_gate
+    assert len(dag.dag_gate) == n and not dag.handoff_gate
+    assert len(rq.prio) == n and not rq.handoff_gate
+
+
+def test_partial_schedule_orders_known_params_first(cluster):
+    """Params without priorities are legal (§3.1) and rank last."""
+    params = [p.name for p in cluster.model.params]
+    partial = Schedule("partial", {params[3]: 0, params[1]: 1})
+    record = run(cluster, partial, enforcement="sender")
+    for link, ts in cluster.transfers_by_link.items():
+        if any(t.kind == "param" for t in ts):
+            got = wire_order(cluster, record, link)
+            assert got[0] == params[3] and got[1] == params[1]

@@ -1,0 +1,45 @@
+"""Hypothesis strategies for randomized structural tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph import Graph, OpKind, Resource
+
+WORKER = "worker:0"
+PS = "ps:0"
+
+
+@st.composite
+def worker_dags(draw, max_recvs: int = 6, max_compute: int = 14):
+    """A random single-worker partitioned DAG.
+
+    recv ops are roots; compute ops draw inputs from earlier ops. Costs
+    are small non-negative floats with occasional zeros (exercising the
+    tie-break paths of the property algorithms).
+    """
+    n_recv = draw(st.integers(min_value=1, max_value=max_recvs))
+    n_compute = draw(st.integers(min_value=1, max_value=max_compute))
+    g = Graph("hypo")
+    link = Resource.link(PS, WORKER)
+    compute = Resource.compute(WORKER)
+    cost = st.one_of(
+        st.just(0.0),
+        st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    )
+    names = []
+    for i in range(n_recv):
+        name = f"recv{i}"
+        g.add_op(name, OpKind.RECV, (), cost=draw(cost) + 0.1, param=name,
+                 resource=link, device=WORKER, timing_key=name)
+        names.append(name)
+    for i in range(n_compute):
+        k = draw(st.integers(min_value=1, max_value=min(3, len(names))))
+        inputs = draw(
+            st.lists(st.sampled_from(names), min_size=k, max_size=k, unique=True)
+        )
+        name = f"op{i}"
+        g.add_op(name, OpKind.COMPUTE, inputs, cost=draw(cost),
+                 resource=compute, device=WORKER, timing_key=name)
+        names.append(name)
+    return g

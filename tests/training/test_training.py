@@ -1,0 +1,145 @@
+"""Numeric training substrate: gradients, order-invariance, learning."""
+
+import numpy as np
+import pytest
+
+from repro.training import (
+    baseline_ordering,
+    enforced_ordering,
+    forward_loss,
+    gradients,
+    init_params,
+    make_dataset,
+    train_data_parallel,
+)
+
+
+# ----------------------------------------------------------------------
+# dataset
+# ----------------------------------------------------------------------
+def test_dataset_shapes_and_determinism():
+    a = make_dataset(n_samples=128, dim=16, n_classes=4, seed=7)
+    b = make_dataset(n_samples=128, dim=16, n_classes=4, seed=7)
+    assert a.x.shape == (128, 16) and a.y.shape == (128,)
+    assert np.array_equal(a.x, b.x) and np.array_equal(a.y, b.y)
+    assert a.y.max() < 4
+
+
+def test_dataset_validation():
+    with pytest.raises(ValueError):
+        make_dataset(n_samples=0)
+    with pytest.raises(ValueError):
+        make_dataset(n_classes=1)
+
+
+def test_shards_partition_the_data():
+    ds = make_dataset(n_samples=100, dim=4, seed=0)
+    shards = [ds.shard(w, 3) for w in range(3)]
+    assert sum(s.n for s in shards) == 100
+    with pytest.raises(ValueError):
+        ds.shard(3, 3)
+
+
+def test_batches_cycle_deterministically():
+    ds = make_dataset(n_samples=64, dim=4, seed=0)
+    it1, it2 = ds.batches(16, seed=5), ds.batches(16, seed=5)
+    for _ in range(6):
+        x1, y1 = next(it1)
+        x2, y2 = next(it2)
+        assert np.array_equal(x1, x2) and np.array_equal(y1, y2)
+        assert x1.shape == (16, 4)
+
+
+# ----------------------------------------------------------------------
+# network: analytic gradients vs finite differences
+# ----------------------------------------------------------------------
+def test_gradients_match_finite_differences():
+    rng = np.random.default_rng(0)
+    params = init_params(dim=5, hidden=7, n_classes=3, seed=1)
+    x = rng.normal(size=(6, 5))
+    y = rng.integers(3, size=6)
+    _, grads = gradients(params, x, y)
+    eps = 1e-6
+    for name, tensor in params.items():
+        flat_grad = grads[name].ravel()
+        for idx in [0, tensor.size // 2, tensor.size - 1]:
+            orig = tensor.ravel()[idx]
+            tensor.ravel()[idx] = orig + eps
+            up = forward_loss(params, x, y)
+            tensor.ravel()[idx] = orig - eps
+            down = forward_loss(params, x, y)
+            tensor.ravel()[idx] = orig
+            numeric = (up - down) / (2 * eps)
+            assert flat_grad[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-7), name
+
+
+def test_loss_matches_gradients_loss():
+    params = init_params(4, 8, 3, seed=0)
+    ds = make_dataset(32, 4, 3, seed=0)
+    loss_a = forward_loss(params, ds.x, ds.y)
+    loss_b, _ = gradients(params, ds.x, ds.y)
+    assert loss_a == pytest.approx(loss_b)
+
+
+# ----------------------------------------------------------------------
+# data-parallel trainer (Fig. 8's claims)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def ds():
+    return make_dataset(n_samples=512, dim=16, n_classes=5, seed=2)
+
+
+def test_loss_decreases(ds):
+    log = train_data_parallel(ds, n_workers=2, iterations=60, seed=2)
+    first = np.mean(log.losses[:10])
+    last = np.mean(log.losses[-10:])
+    assert last < first * 0.9
+    assert log.eval_accuracy > 1.5 / 5  # clearly better than chance
+
+
+def test_transfer_order_does_not_change_loss(ds):
+    """Fig. 8: the whole point — bit-identical trajectories."""
+    a = train_data_parallel(ds, n_workers=3, iterations=40,
+                            ordering=baseline_ordering(9), seed=2)
+    b = train_data_parallel(ds, n_workers=3, iterations=40,
+                            ordering=enforced_ordering(), seed=2)
+    c = train_data_parallel(ds, n_workers=3, iterations=40,
+                            ordering=enforced_ordering(
+                                ["fc2/weights", "fc1/weights",
+                                 "fc2/biases", "fc1/biases"]), seed=2)
+    assert np.array_equal(a.loss_array, b.loss_array)
+    assert np.array_equal(a.loss_array, c.loss_array)
+
+
+def test_baseline_ordering_varies_per_worker_and_iteration(ds):
+    policy = baseline_ordering(0)
+    names = ["a", "b", "c", "d", "e"]
+    orders = {
+        (w, it): tuple(policy(w, it, names)) for w in range(3) for it in range(3)
+    }
+    assert len(set(orders.values())) > 1
+    # deterministic for the same (worker, iteration)
+    assert orders[(1, 2)] == tuple(policy(1, 2, names))
+
+
+def test_enforced_ordering_is_constant(ds):
+    policy = enforced_ordering(["b", "a"])
+    assert policy(0, 0, ["a", "b"]) == ["b", "a"]
+    assert policy(5, 9, ["a", "b"]) == ["b", "a"]
+    # unknown names appended
+    assert policy(0, 0, ["a", "b", "z"]) == ["b", "a", "z"]
+
+
+def test_bad_ordering_policy_rejected(ds):
+    def broken(worker, it, names):
+        return names[:-1]  # drops a tensor
+
+    with pytest.raises(ValueError, match="permute"):
+        train_data_parallel(ds, n_workers=2, iterations=1, ordering=broken)
+
+
+def test_more_workers_same_initial_loss(ds):
+    """Initial loss is architecture+init determined, not worker count."""
+    a = train_data_parallel(ds, n_workers=1, iterations=1, seed=2)
+    b = train_data_parallel(ds, n_workers=4, iterations=1, seed=2)
+    assert a.losses[0] == pytest.approx(b.losses[0], rel=0.15)
