@@ -1,0 +1,43 @@
+"""Sweep-runner micro-benchmarks (not a paper figure): the cache-hit fast
+path that makes repeated ``--full`` runs cheap, and the dedupe that lets
+overlapping figure drivers share cells. These guard the subsystem that
+every other bench now runs through."""
+
+import pytest
+
+from repro.ps import ClusterSpec
+from repro.sim import SimConfig
+from repro.sweep import GridSpec, SweepRunner
+
+
+def _grid_cells():
+    return GridSpec(
+        models=("AlexNet v2",),
+        workloads=("training",),
+        worker_counts=(2, 4),
+        ps_counts=(1,),
+        algorithms=("tic",),
+    ).cells(SimConfig(iterations=2, warmup=0))
+
+
+def test_bench_sweep_cache_hit_path(benchmark, tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("sweep-cache"))
+    runner = SweepRunner(jobs=1, cache_dir=cache_dir)
+    cells = _grid_cells()
+    cold = runner.run_cells(cells)
+
+    warm = benchmark(runner.run_cells, cells)
+
+    assert [r.summary() for r in warm] == [r.summary() for r in cold]
+    assert runner.stats.hits >= len(cells)
+
+
+def test_bench_sweep_dedupe(benchmark):
+    runner = SweepRunner(jobs=1, cache_dir=None)
+    cells = _grid_cells() * 5  # five drivers asking for the same slice
+
+    results = benchmark.pedantic(runner.run_cells, args=(cells,),
+                                 rounds=1, iterations=1)
+
+    assert len(results) == len(cells)
+    assert results[0].summary() == results[2].summary()

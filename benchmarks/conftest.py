@@ -6,6 +6,11 @@ and (b) prints/persists the regenerated rows so the run doubles as a
 results artifact. Set ``REPRO_SCALE=full`` for the paper-scale protocol;
 the default quick scale keeps the whole suite in minutes.
 
+Drivers submit their grids to the sweep runner, so ``REPRO_JOBS=N`` fans
+simulations out across N processes and a warm ``results/.sweep-cache``
+turns re-runs into cache reads (delete it or set ``REPRO_NO_CACHE=1``
+to time cold simulations).
+
 Artifacts land in ``results/`` (CSV) — see EXPERIMENTS.md for the
 paper-vs-measured read-out of a full run.
 """

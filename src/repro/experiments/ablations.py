@@ -12,6 +12,10 @@ for in prose, made measurable:
   exact oracle vs a heavily perturbed one;
 * **gRPC reorder noise** — sensitivity of gains to residual reordering;
 * **sharding strategy** — greedy-by-bytes vs round-robin placement.
+
+Plain-grid variants run as sweep cells; the custom-schedule variants
+(comparator/oracle studies need a hand-built :class:`Schedule`) run as
+sweep tasks. Both kinds cache and parallelize like any other sweep unit.
 """
 
 from __future__ import annotations
@@ -22,30 +26,92 @@ from ..core.comparator import precedes_as_printed
 from ..core.tac import tac
 from ..ps import ClusterSpec, build_reference_partition
 from ..models import build_model
-from ..sim import simulate_cluster
+from ..sim import SimConfig, simulate_cluster
+from ..sweep import FnTask, SimCell
 from ..timing import ENV_G, PerturbedOracle, estimate_time_oracle
 from .common import Context, ExperimentOutput, finish, render_rows
 
 MODEL = "ResNet-50 v1"
 WORKERS, PS = 4, 1
 
-
-def _throughput(ctx: Context, ir, spec, *, schedule=None, algorithm="baseline",
-                config=None) -> float:
-    result = simulate_cluster(
-        ir, spec, algorithm=algorithm, schedule=schedule, platform="envG",
-        config=config or ctx.sim_config(),
-    )
-    return result.throughput
+def custom_schedule_throughputs(seed: int, iterations: int, warmup: int) -> dict:
+    """Throughput of every hand-scheduled variant (one sweep task: the
+    model, reference partition and traced oracle are shared across the
+    four tac() invocations, as the comparator/oracle study intends)."""
+    ir = build_model(MODEL)
+    spec = ClusterSpec(n_workers=WORKERS, n_ps=PS, workload="training")
+    reference = build_reference_partition(ir, workload="training", n_ps=PS)
+    oracle = estimate_time_oracle(reference.graph, ENV_G, seed=seed)
+    schedules = {
+        "tac_eq6": tac(reference.graph, oracle),
+        "tac_as_printed": tac(
+            reference.graph, oracle, comparator=precedes_as_printed,
+            algorithm_name="tac_as_printed",
+        ),
+        "tac_exact": tac(
+            reference.graph, ENV_G.oracle(), algorithm_name="tac_exact"
+        ),
+        "tac_noisy": tac(
+            reference.graph, PerturbedOracle(oracle, sigma=1.0, seed=seed),
+            algorithm_name="tac_noisy",
+        ),
+    }
+    cfg = SimConfig(seed=seed, iterations=iterations, warmup=warmup)
+    return {
+        variant: float(
+            simulate_cluster(
+                ir, spec, schedule=schedule, platform="envG", config=cfg
+            ).throughput
+        )
+        for variant, schedule in schedules.items()
+    }
 
 
 def run(ctx: Context) -> ExperimentOutput:
     t0 = time.perf_counter()
-    ir = build_model(MODEL)
     spec = ClusterSpec(n_workers=WORKERS, n_ps=PS, workload="training")
-    rows = []
+    cfg = ctx.sim_config()
 
-    base_tp = _throughput(ctx, ir, spec, algorithm="baseline")
+    def cell(algorithm: str = "tic", *, spec=spec, config=cfg) -> SimCell:
+        return SimCell(
+            model=MODEL, spec=spec, algorithm=algorithm,
+            platform="envG", config=config,
+        )
+
+    # --- grid-shaped variants: one batch of cells -----------------------
+    enforcement_modes = ("sender", "ready_queue", "dag")
+    noise_probs = (0.0, 0.005, 0.05)
+    sharding_strategies = ("greedy", "round_robin")
+    cells = [cell("baseline")]
+    cells += [
+        cell(config=cfg.with_(enforcement=mode)) for mode in enforcement_modes
+    ]
+    cells += [cell(algo) for algo in ("tic", "tic_plus")]
+    cells += [
+        cell(config=cfg.with_(grpc_reorder_prob=prob)) for prob in noise_probs
+    ]
+    cells += [
+        cell(spec=ClusterSpec(n_workers=WORKERS, n_ps=2, workload="training",
+                              sharding=strategy))
+        for strategy in sharding_strategies
+    ]
+    results = iter(ctx.sweep.run_cells(cells))
+
+    # --- custom-schedule variants: one shared-build task ----------------
+    custom_tps, = ctx.sweep.run_tasks(
+        [
+            FnTask.make(
+                custom_schedule_throughputs, seed=ctx.seed,
+                iterations=cfg.iterations, warmup=cfg.warmup,
+            )
+        ]
+    )
+    # 'estimated (min of 5)' re-reports tac_eq6 (it is the same schedule).
+    task_order = ("tac_eq6", "tac_as_printed", "tac_eq6", "tac_exact", "tac_noisy")
+    throughputs = iter(custom_tps[v] for v in task_order)
+
+    rows = []
+    base_tp = next(results).throughput
 
     def add(group: str, variant: str, tp: float) -> None:
         rows.append(
@@ -58,53 +124,27 @@ def run(ctx: Context) -> ExperimentOutput:
         )
 
     add("enforcement", "none (baseline)", base_tp)
-    for mode in ("sender", "ready_queue", "dag"):
-        tp = _throughput(
-            ctx, ir, spec, algorithm="tic",
-            config=ctx.sim_config(enforcement=mode),
-        )
-        add("enforcement", mode, tp)
+    for mode in enforcement_modes:
+        add("enforcement", mode, next(results).throughput)
 
-    # --- comparator erratum ---------------------------------------------
-    reference = build_reference_partition(ir, workload="training", n_ps=PS)
-    oracle = estimate_time_oracle(reference.graph, ENV_G, seed=ctx.seed)
-    sched_eq6 = tac(reference.graph, oracle)
-    sched_printed = tac(
-        reference.graph, oracle, comparator=precedes_as_printed,
-        algorithm_name="tac_as_printed",
-    )
-    add("comparator", "tac (Eq. 6)", _throughput(ctx, ir, spec, schedule=sched_eq6))
-    add("comparator", "tac (as printed)",
-        _throughput(ctx, ir, spec, schedule=sched_printed))
+    tic_tp, tic_plus_tp = (next(results).throughput for _ in range(2))
+    noise_tps = [next(results).throughput for _ in noise_probs]
+    sharding_tps = [next(results).throughput for _ in sharding_strategies]
 
-    # --- TIC vs TIC+ -------------------------------------------------------
-    for algo in ("tic", "tic_plus"):
-        add("tic_variant", algo, _throughput(ctx, ir, spec, algorithm=algo))
+    add("comparator", "tac (Eq. 6)", next(throughputs))
+    add("comparator", "tac (as printed)", next(throughputs))
 
-    # --- oracle quality ----------------------------------------------------
-    add("oracle", "estimated (min of 5)",
-        _throughput(ctx, ir, spec, schedule=sched_eq6))
-    exact = tac(reference.graph, ENV_G.oracle(), algorithm_name="tac_exact")
-    add("oracle", "exact", _throughput(ctx, ir, spec, schedule=exact))
-    noisy = tac(
-        reference.graph, PerturbedOracle(oracle, sigma=1.0, seed=ctx.seed),
-        algorithm_name="tac_noisy",
-    )
-    add("oracle", "perturbed (sigma=1.0)", _throughput(ctx, ir, spec, schedule=noisy))
+    add("tic_variant", "tic", tic_tp)
+    add("tic_variant", "tic_plus", tic_plus_tp)
 
-    # --- reorder-noise sensitivity -----------------------------------------
-    for prob in (0.0, 0.005, 0.05):
-        tp = _throughput(
-            ctx, ir, spec, algorithm="tic",
-            config=ctx.sim_config(grpc_reorder_prob=prob),
-        )
+    add("oracle", "estimated (min of 5)", next(throughputs))
+    add("oracle", "exact", next(throughputs))
+    add("oracle", "perturbed (sigma=1.0)", next(throughputs))
+
+    for prob, tp in zip(noise_probs, noise_tps):
         add("grpc_noise", f"p={prob}", tp)
 
-    # --- sharding strategy ---------------------------------------------------
-    for strategy in ("greedy", "round_robin"):
-        spec_s = ClusterSpec(n_workers=WORKERS, n_ps=2, workload="training",
-                             sharding=strategy)
-        tp = _throughput(ctx, ir, spec_s, algorithm="tic")
+    for strategy, tp in zip(sharding_strategies, sharding_tps):
         rows.append(
             {
                 "group": "sharding",

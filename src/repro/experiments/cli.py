@@ -80,6 +80,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--results-dir", default="results")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--quiet", action="store_true")
+    parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                        help="worker processes for the sweep runner "
+                        "(default: $REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk sweep result cache")
+    parser.add_argument("--rerun", action="store_true",
+                        help="recompute every cell, refreshing cache entries")
     args = parser.parse_args(argv)
 
     ctx = make_context(
@@ -87,11 +94,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         results_dir=args.results_dir,
         seed=args.seed,
         verbose=not args.quiet,
+        jobs=args.jobs,
+        rerun=args.rerun,
+        **({"use_cache": False} if args.no_cache else {}),
     )
     names = list(ORDER) if "all" in args.experiments else args.experiments
     for name in names:
-        ctx.log(f"=== {name} (scale={ctx.scale.name}) ===")
+        ctx.log(f"=== {name} (scale={ctx.scale.name}, jobs={ctx.jobs}) ===")
         DRIVERS[name](ctx)
+    if ctx.use_cache:
+        ctx.log(f"sweep cache: {ctx.sweep.stats.as_dict()}")
     return 0
 
 

@@ -20,6 +20,8 @@ from typing import Mapping, Optional, Sequence
 
 from ..analysis import format_table, write_csv
 from ..sim import SimConfig
+from ..sweep import SweepRunner
+from ..sweep.spec import ps_for_workers  # noqa: F401 — drivers import it from here
 
 #: Fig. 7's model set (the paper's nine; Table 1 lists ten — ResNet-101 v2
 #: appears only in Table 1).
@@ -82,12 +84,40 @@ FULL = Scale(
 
 @dataclass
 class Context:
-    """Execution context handed to every experiment driver."""
+    """Execution context handed to every experiment driver.
+
+    ``jobs``/``use_cache``/``rerun`` configure the shared
+    :class:`~repro.sweep.SweepRunner` every driver submits its grid to:
+    ``jobs`` fans cells out across processes, the cache (default
+    ``<results_dir>/.sweep-cache``) lets re-runs and overlapping drivers
+    skip already-simulated cells, and ``rerun`` forces recomputation.
+    """
 
     scale: Scale = field(default_factory=lambda: QUICK)
     results_dir: str = "results"
     seed: int = 0
     verbose: bool = True
+    jobs: int = 1
+    use_cache: bool = True
+    rerun: bool = False
+    cache_dir: Optional[str] = None
+    _sweep: Optional[SweepRunner] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def sweep(self) -> SweepRunner:
+        """The lazily-created sweep runner shared by this context."""
+        if self._sweep is None:
+            cache_dir = None
+            if self.use_cache:
+                cache_dir = self.cache_dir or os.path.join(
+                    self.results_dir, ".sweep-cache"
+                )
+            self._sweep = SweepRunner(
+                jobs=self.jobs, cache_dir=cache_dir, rerun=self.rerun
+            )
+        return self._sweep
 
     def sim_config(self, **overrides) -> SimConfig:
         base = dict(
@@ -104,13 +134,24 @@ class Context:
 
 
 def make_context(
-    full: Optional[bool] = None, results_dir: str = "results", **kwargs
+    full: Optional[bool] = None,
+    results_dir: str = "results",
+    jobs: Optional[int] = None,
+    **kwargs,
 ) -> Context:
-    """Build a context; ``full=None`` consults ``REPRO_SCALE``/``REPRO_FULL``."""
+    """Build a context; ``full=None`` consults ``REPRO_SCALE``/``REPRO_FULL``,
+    ``jobs=None`` consults ``REPRO_JOBS`` (default 1), and
+    ``REPRO_NO_CACHE=1`` disables the sweep cache."""
     if full is None:
         env = os.environ.get("REPRO_SCALE", "").lower()
         full = env == "full" or os.environ.get("REPRO_FULL", "") == "1"
-    return Context(scale=FULL if full else QUICK, results_dir=results_dir, **kwargs)
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    if "use_cache" not in kwargs and os.environ.get("REPRO_NO_CACHE", "") == "1":
+        kwargs["use_cache"] = False
+    return Context(
+        scale=FULL if full else QUICK, results_dir=results_dir, jobs=jobs, **kwargs
+    )
 
 
 @dataclass
@@ -150,11 +191,6 @@ def finish(
     ctx.log(text)
     ctx.log(f"[{name}] {len(out.rows)} rows -> {csv_path} ({out.elapsed_s:.1f}s)")
     return out
-
-
-def ps_for_workers(n_workers: int) -> int:
-    """Fig. 7 keeps PS:workers at 1:4 (at least one PS)."""
-    return max(1, n_workers // 4)
 
 
 def render_rows(rows: Sequence[Mapping[str, object]], title: str, **kw) -> str:

@@ -11,8 +11,7 @@ from __future__ import annotations
 
 import time
 
-from ..ps import ClusterSpec
-from ..sim import speedup_vs_baseline
+from ..sweep import GridSpec
 from .common import Context, ExperimentOutput, finish, render_rows
 
 BATCH_FACTORS = (0.5, 1.0, 2.0)
@@ -20,25 +19,28 @@ BATCH_FACTORS = (0.5, 1.0, 2.0)
 
 def run(ctx: Context, *, algorithm: str = "tic", n_workers: int = 4) -> ExperimentOutput:
     t0 = time.perf_counter()
+    cells = GridSpec(
+        models=ctx.scale.models,
+        workloads=("inference",),
+        worker_counts=(n_workers,),
+        ps_counts=(1,),
+        algorithms=(algorithm,),
+        platforms=("envG",),
+        batch_factors=BATCH_FACTORS,
+    ).cells(ctx.sim_config())
     rows = []
-    for model in ctx.scale.models:
-        for factor in BATCH_FACTORS:
-            spec = ClusterSpec(n_workers=n_workers, n_ps=1, workload="inference")
-            gain, sched, base = speedup_vs_baseline(
-                model, spec, algorithm=algorithm, platform="envG",
-                config=ctx.sim_config(), batch_factor=factor,
-            )
-            rows.append(
-                {
-                    "model": model,
-                    "batch_factor": factor,
-                    "batch": sched.batch_size,
-                    "baseline_sps": round(base.throughput, 1),
-                    f"{algorithm}_sps": round(sched.throughput, 1),
-                    "speedup_pct": round(gain, 1),
-                }
-            )
-            ctx.log(f"  fig10 {model} x{factor}: {gain:+.1f}%")
+    for cell, (gain, sched, base) in zip(cells, ctx.sweep.run_speedups(cells)):
+        rows.append(
+            {
+                "model": cell.model,
+                "batch_factor": cell.batch_factor,
+                "batch": sched.batch_size,
+                "baseline_sps": round(base.throughput, 1),
+                f"{algorithm}_sps": round(sched.throughput, 1),
+                "speedup_pct": round(gain, 1),
+            }
+        )
+        ctx.log(f"  fig10 {cell.model} x{cell.batch_factor}: {gain:+.1f}%")
     text = render_rows(
         rows,
         f"Fig. 10: speedup of {algorithm.upper()} vs baseline under batch-size "

@@ -13,16 +13,19 @@ compresses them (the paper quotes up to 2.3x reduction).
 from __future__ import annotations
 
 import time
+from functools import lru_cache
 
 from ..models import build_model, emit_graph
 from ..models.emit import WORKER_INFERENCE, WORKER_TRAINING
-from ..ps import ClusterSpec, build_cluster_graph, shard_parameters
-from ..sim import simulate_cluster
+from ..ps import ClusterSpec, shard_parameters
+from ..sweep import FnTask, SimCell
 from .common import Context, ExperimentOutput, finish, ps_for_workers, render_rows
 
 
+@lru_cache(maxsize=None)
 def ops_per_worker(model: str, workload: str) -> int:
-    """Worker-partition op count (Fig. 11's x axis)."""
+    """Worker-partition op count (Fig. 11's x axis; submitted as a sweep
+    task so warm-cache runs skip the model builds too)."""
     ir = build_model(model)
     placement = shard_parameters(ir.params, ["ps:0"])
     mode = WORKER_TRAINING if workload == "training" else WORKER_INFERENCE
@@ -31,32 +34,49 @@ def ops_per_worker(model: str, workload: str) -> int:
 
 def run(ctx: Context, *, n_workers: int = 4) -> ExperimentOutput:
     t0 = time.perf_counter()
-    rows = []
     spec_ps = ps_for_workers(n_workers)
-    for workload in ("inference", "training"):
-        for model in ctx.scale.models:
-            spec = ClusterSpec(n_workers=n_workers, n_ps=spec_ps, workload=workload)
-            ir = build_model(model)
-            cluster = build_cluster_graph(ir, spec)
-            n_ops = ops_per_worker(model, workload)
-            for algorithm in ("baseline", "tic"):
-                result = simulate_cluster(
-                    ir, spec, algorithm=algorithm, platform="envG",
-                    config=ctx.sim_config(), cluster=cluster,
-                )
-                rows.append(
-                    {
-                        "model": model,
-                        "workload": workload,
-                        "algorithm": algorithm,
-                        "ops_per_worker": n_ops,
-                        "efficiency_mean": round(result.mean_efficiency, 4),
-                        "efficiency_max": round(result.max_efficiency, 4),
-                        "straggler_pct_max": round(result.max_straggler_pct, 2),
-                        "straggler_pct_mean": round(result.mean_straggler_pct, 2),
-                    }
-                )
-            ctx.log(f"  fig11 {model} {workload}: done")
+    cells = [
+        SimCell(
+            model=model,
+            spec=ClusterSpec(n_workers=n_workers, n_ps=spec_ps, workload=workload),
+            algorithm=algorithm,
+            platform="envG",
+            config=ctx.sim_config(),
+        )
+        for workload in ("inference", "training")
+        for model in ctx.scale.models
+        for algorithm in ("baseline", "tic")
+    ]
+    results = ctx.sweep.run_cells(cells)
+    n_ops_of = dict(
+        zip(
+            [(c.model, c.spec.workload) for c in cells],
+            ctx.sweep.run_tasks(
+                [
+                    FnTask.make(
+                        ops_per_worker, model=c.model, workload=c.spec.workload
+                    )
+                    for c in cells
+                ]
+            ),
+        )
+    )
+    rows = []
+    for cell, result in zip(cells, results):
+        rows.append(
+            {
+                "model": cell.model,
+                "workload": cell.spec.workload,
+                "algorithm": cell.algorithm,
+                "ops_per_worker": n_ops_of[(cell.model, cell.spec.workload)],
+                "efficiency_mean": round(result.mean_efficiency, 4),
+                "efficiency_max": round(result.max_efficiency, 4),
+                "straggler_pct_max": round(result.max_straggler_pct, 2),
+                "straggler_pct_mean": round(result.mean_straggler_pct, 2),
+            }
+        )
+        if cell.algorithm == "tic":
+            ctx.log(f"  fig11 {cell.model} {cell.spec.workload}: done")
     text = render_rows(
         rows,
         "Fig. 11: (a) scheduling efficiency and (b) straggler time vs ops per "

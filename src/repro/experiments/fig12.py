@@ -27,7 +27,7 @@ from ..analysis import (
     scatter_sketch,
 )
 from ..ps import ClusterSpec
-from ..sim import simulate_cluster
+from ..sweep import SimCell
 from .common import Context, ExperimentOutput, finish, render_rows
 
 
@@ -40,18 +40,24 @@ def run(
     t0 = time.perf_counter()
     runs = ctx.scale.consistency_runs
     cfg = ctx.sim_config(iterations=runs, warmup=0)
-    results = {}
-    for workload, algorithms in (
-        ("training", ("baseline", "tac")),
-        ("inference", ("baseline", "tac")),
-    ):
-        spec = ClusterSpec(n_workers=n_workers, n_ps=1, workload=workload)
-        for algorithm in algorithms:
-            key = (workload, algorithm)
-            results[key] = simulate_cluster(
-                model, spec, algorithm=algorithm, platform="envC", config=cfg
-            )
-            ctx.log(f"  fig12 {workload}/{algorithm}: {runs} runs done")
+    keys = [
+        (workload, algorithm)
+        for workload in ("training", "inference")
+        for algorithm in ("baseline", "tac")
+    ]
+    cells = [
+        SimCell(
+            model=model,
+            spec=ClusterSpec(n_workers=n_workers, n_ps=1, workload=workload),
+            algorithm=algorithm,
+            platform="envC",
+            config=cfg,
+        )
+        for workload, algorithm in keys
+    ]
+    results = dict(zip(keys, ctx.sweep.run_cells(cells)))
+    for workload, algorithm in keys:
+        ctx.log(f"  fig12 {workload}/{algorithm}: {runs} runs done")
 
     # --- (a) regression: efficiency vs normalized step time (training) ---
     effs, steps = [], []

@@ -13,12 +13,25 @@ import time
 
 from ..models import ENVC_MODEL_NAMES
 from ..ps import ClusterSpec
-from ..sim import speedup_vs_baseline
+from ..sweep import SimCell
 from .common import Context, ExperimentOutput, finish, render_rows
 
 
 def run(ctx: Context, *, n_workers: int = 4) -> ExperimentOutput:
     t0 = time.perf_counter()
+    cells = [
+        SimCell(
+            model=model,
+            spec=ClusterSpec(n_workers=n_workers, n_ps=1, workload=workload),
+            algorithm=algorithm,
+            platform="envC",
+            config=ctx.sim_config(),
+        )
+        for workload in ("inference", "training")
+        for model in ENVC_MODEL_NAMES
+        for algorithm in ("tic", "tac")
+    ]
+    speedups = iter(ctx.sweep.run_speedups(cells))
     rows = []
     for workload in ("inference", "training"):
         for model in ENVC_MODEL_NAMES:
@@ -28,11 +41,7 @@ def run(ctx: Context, *, n_workers: int = 4) -> ExperimentOutput:
                 "workers": n_workers,
             }
             for algorithm in ("tic", "tac"):
-                spec = ClusterSpec(n_workers=n_workers, n_ps=1, workload=workload)
-                gain, _, base = speedup_vs_baseline(
-                    model, spec, algorithm=algorithm, platform="envC",
-                    config=ctx.sim_config(),
-                )
+                gain, _, base = next(speedups)
                 entry[f"{algorithm}_speedup_pct"] = round(gain, 1)
                 entry["baseline_sps"] = round(base.throughput, 1)
             rows.append(entry)

@@ -14,41 +14,44 @@ from __future__ import annotations
 
 import time
 
-from ..ps import ClusterSpec
-from ..sim import speedup_vs_baseline
-from .common import Context, ExperimentOutput, finish, ps_for_workers, render_rows
+from ..sweep import GridSpec
+from .common import Context, ExperimentOutput, finish, render_rows
+
+
+def grid(ctx: Context, algorithm: str) -> GridSpec:
+    """Fig. 7's slice of the evaluation grid (shared with the headline
+    scan, so their cells cache-hit each other)."""
+    return GridSpec(
+        models=ctx.scale.models,
+        workloads=("inference", "training"),
+        worker_counts=ctx.scale.worker_counts,
+        ps_from_workers=True,
+        algorithms=(algorithm,),
+        platforms=("envG",),
+    )
 
 
 def run(ctx: Context, *, algorithm: str = "tic") -> ExperimentOutput:
     t0 = time.perf_counter()
+    cells = grid(ctx, algorithm).cells(ctx.sim_config())
+    speedups = ctx.sweep.run_speedups(cells)
     rows = []
-    for workload in ("inference", "training"):
-        for model in ctx.scale.models:
-            for w in ctx.scale.worker_counts:
-                spec = ClusterSpec(
-                    n_workers=w, n_ps=ps_for_workers(w), workload=workload
-                )
-                gain, sched, base = speedup_vs_baseline(
-                    model,
-                    spec,
-                    algorithm=algorithm,
-                    platform="envG",
-                    config=ctx.sim_config(),
-                )
-                rows.append(
-                    {
-                        "model": model,
-                        "workload": workload,
-                        "workers": w,
-                        "ps": spec.n_ps,
-                        "baseline_sps": round(base.throughput, 1),
-                        f"{algorithm}_sps": round(sched.throughput, 1),
-                        "speedup_pct": round(gain, 1),
-                    }
-                )
-                ctx.log(
-                    f"  fig7 {model} {workload} w{w}ps{spec.n_ps}: {gain:+.1f}%"
-                )
+    for cell, (gain, sched, base) in zip(cells, speedups):
+        rows.append(
+            {
+                "model": cell.model,
+                "workload": cell.spec.workload,
+                "workers": cell.spec.n_workers,
+                "ps": cell.spec.n_ps,
+                "baseline_sps": round(base.throughput, 1),
+                f"{algorithm}_sps": round(sched.throughput, 1),
+                "speedup_pct": round(gain, 1),
+            }
+        )
+        ctx.log(
+            f"  fig7 {cell.model} {cell.spec.workload} "
+            f"w{cell.spec.n_workers}ps{cell.spec.n_ps}: {gain:+.1f}%"
+        )
     text = render_rows(
         rows,
         f"Fig. 7: throughput speedup of {algorithm.upper()} vs baseline, "

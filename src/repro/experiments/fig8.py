@@ -14,6 +14,7 @@ import time
 
 import numpy as np
 
+from ..sweep import FnTask
 from ..training import (
     baseline_ordering,
     enforced_ordering,
@@ -23,22 +24,35 @@ from ..training import (
 from .common import Context, ExperimentOutput, finish, render_rows
 
 
+def training_run(ordering: str, iterations: int, seed: int) -> dict:
+    """One Fig. 8 SGD run as a cacheable sweep task. The dataset is
+    rebuilt from ``seed``, so both orderings train on identical data."""
+    ds = make_dataset(seed=seed)
+    policy = (
+        baseline_ordering(seed) if ordering == "no_ordering" else enforced_ordering()
+    )
+    log = train_data_parallel(
+        ds, iterations=iterations, ordering=policy, label=ordering, seed=seed
+    )
+    return {
+        "losses": [float(x) for x in log.losses],
+        "accuracy": float(log.eval_accuracy),
+    }
+
+
 def run(ctx: Context) -> ExperimentOutput:
     t0 = time.perf_counter()
     iters = ctx.scale.loss_iterations
-    ds = make_dataset(seed=ctx.seed)
-    runs = {
-        "no_ordering": train_data_parallel(
-            ds, iterations=iters, ordering=baseline_ordering(ctx.seed),
-            label="no_ordering", seed=ctx.seed,
-        ),
-        "tic": train_data_parallel(
-            ds, iterations=iters, ordering=enforced_ordering(),
-            label="tic", seed=ctx.seed,
-        ),
-    }
+    labels = ("no_ordering", "tic")
+    tasks = [
+        FnTask.make(training_run, ordering=label, iterations=iters, seed=ctx.seed)
+        for label in labels
+    ]
+    runs = dict(zip(labels, ctx.sweep.run_tasks(tasks)))
     identical = bool(
-        np.array_equal(runs["no_ordering"].loss_array, runs["tic"].loss_array)
+        np.array_equal(
+            np.array(runs["no_ordering"]["losses"]), np.array(runs["tic"]["losses"])
+        )
     )
     rows = []
     stride = max(1, iters // 50)
@@ -46,18 +60,18 @@ def run(ctx: Context) -> ExperimentOutput:
         rows.append(
             {
                 "iteration": i,
-                "loss_no_ordering": runs["no_ordering"].losses[i],
-                "loss_tic": runs["tic"].losses[i],
+                "loss_no_ordering": runs["no_ordering"]["losses"][i],
+                "loss_tic": runs["tic"]["losses"][i],
             }
         )
-    first, last = runs["tic"].losses[0], runs["tic"].losses[-1]
+    first, last = runs["tic"]["losses"][0], runs["tic"]["losses"][-1]
     text = "\n".join(
         [
             "Fig. 8: training loss, no-ordering vs TIC "
             f"({iters} iterations, synthetic dataset)",
             f"  curves identical: {identical}",
             f"  loss {first:.4f} -> {last:.4f} "
-            f"(accuracy {runs['tic'].eval_accuracy:.3f})",
+            f"(accuracy {runs['tic']['accuracy']:.3f})",
             render_rows(rows[:10], "  first sampled points", floatfmt=".4f"),
         ]
     )

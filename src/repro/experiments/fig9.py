@@ -9,8 +9,7 @@ from __future__ import annotations
 
 import time
 
-from ..ps import ClusterSpec
-from ..sim import speedup_vs_baseline
+from ..sweep import GridSpec
 from .common import Context, ExperimentOutput, finish, render_rows
 
 
@@ -18,27 +17,31 @@ def run(ctx: Context, *, algorithm: str = "tic", n_workers: int = 8) -> Experime
     t0 = time.perf_counter()
     if ctx.scale.name == "quick":
         n_workers = min(n_workers, max(ctx.scale.worker_counts))
+    cells = GridSpec(
+        models=ctx.scale.models,
+        workloads=("inference", "training"),
+        worker_counts=(n_workers,),
+        ps_counts=ctx.scale.ps_counts,
+        algorithms=(algorithm,),
+        platforms=("envG",),
+    ).cells(ctx.sim_config())
     rows = []
-    for workload in ("inference", "training"):
-        for model in ctx.scale.models:
-            for n_ps in ctx.scale.ps_counts:
-                spec = ClusterSpec(n_workers=n_workers, n_ps=n_ps, workload=workload)
-                gain, sched, base = speedup_vs_baseline(
-                    model, spec, algorithm=algorithm,
-                    platform="envG", config=ctx.sim_config(),
-                )
-                rows.append(
-                    {
-                        "model": model,
-                        "workload": workload,
-                        "workers": n_workers,
-                        "ps": n_ps,
-                        "baseline_sps": round(base.throughput, 1),
-                        f"{algorithm}_sps": round(sched.throughput, 1),
-                        "speedup_pct": round(gain, 1),
-                    }
-                )
-                ctx.log(f"  fig9 {model} {workload} ps{n_ps}: {gain:+.1f}%")
+    for cell, (gain, sched, base) in zip(cells, ctx.sweep.run_speedups(cells)):
+        rows.append(
+            {
+                "model": cell.model,
+                "workload": cell.spec.workload,
+                "workers": n_workers,
+                "ps": cell.spec.n_ps,
+                "baseline_sps": round(base.throughput, 1),
+                f"{algorithm}_sps": round(sched.throughput, 1),
+                "speedup_pct": round(gain, 1),
+            }
+        )
+        ctx.log(
+            f"  fig9 {cell.model} {cell.spec.workload} "
+            f"ps{cell.spec.n_ps}: {gain:+.1f}%"
+        )
     text = render_rows(
         rows,
         f"Fig. 9: speedup of {algorithm.upper()} vs baseline, scaling parameter "

@@ -18,11 +18,13 @@ import time
 
 import numpy as np
 
-from ..models import build_model, op_counts
+from ..models import build_model
 from ..ps import ClusterSpec, build_cluster_graph
 from ..sim import CompiledSimulation, SimConfig
+from ..sweep import FnTask
 from ..timing import ENV_G
 from .common import Context, ExperimentOutput, finish, render_rows
+from .table1 import model_characteristics
 
 #: The three models §2.2 reports order-uniqueness for.
 MOTIVATION_MODELS = ("ResNet-50 v2", "Inception v3", "VGG-16")
@@ -49,9 +51,15 @@ def count_unique_orders(model: str, iterations: int, seed: int = 0) -> int:
 def run(ctx: Context) -> ExperimentOutput:
     t0 = time.perf_counter()
     iterations = min(ctx.scale.consistency_runs, 1000)
+    tasks = [
+        FnTask.make(
+            count_unique_orders, model=model, iterations=iterations, seed=ctx.seed
+        )
+        for model in MOTIVATION_MODELS
+    ] + [FnTask.make(model_characteristics, name="ResNet-152 v2")]
+    *uniques, r152 = ctx.sweep.run_tasks(tasks)
     rows = []
-    for model in MOTIVATION_MODELS:
-        unique = count_unique_orders(model, iterations, seed=ctx.seed)
+    for model, unique in zip(MOTIVATION_MODELS, uniques):
         rows.append(
             {
                 "model": model,
@@ -63,13 +71,11 @@ def run(ctx: Context) -> ExperimentOutput:
         ctx.log(f"  motivation {model}: {unique}/{iterations} unique orders")
 
     # The §2.2 sizing example.
-    r152 = build_model("ResNet-152 v2")
-    inf_ops, train_ops = op_counts(r152)
     rows.append(
         {
             "model": "ResNet-152 v2 (sizing)",
             "iterations": 0,
-            "unique_orders": r152.n_param_tensors,
+            "unique_orders": r152["params"],
             "paper_unique_of_1000": 363,
         }
     )
@@ -80,9 +86,9 @@ def run(ctx: Context) -> ExperimentOutput:
                 f"Motivation (§2.2): distinct parameter-arrival orders over "
                 f"{iterations} baseline iterations",
             ),
-            f"ResNet-v2-152 sizing: {r152.n_param_tensors} tensors "
-            f"(paper: 363), {r152.total_param_mib:.1f} MiB (paper: 229.5), "
-            f"{train_ops} training ops (paper: 4655).",
+            f"ResNet-v2-152 sizing: {r152['params']} tensors "
+            f"(paper: 363), {r152['size_mib']:.1f} MiB (paper: 229.5), "
+            f"{r152['ops_train']} training ops (paper: 4655).",
         ]
     )
     return finish(ctx, "motivation_unique_orders", rows, text, t0=t0)

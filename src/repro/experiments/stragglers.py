@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 
 from ..ps import ClusterSpec
-from ..sim import simulate_cluster
+from ..sweep import SimCell
 from .common import Context, ExperimentOutput, finish, render_rows
 
 SLOWDOWNS = (1.0, 1.25, 1.5)
@@ -29,27 +29,39 @@ SLOWDOWNS = (1.0, 1.25, 1.5)
 def run(ctx: Context, *, model: str = "ResNet-50 v1", n_workers: int = 4) -> ExperimentOutput:
     t0 = time.perf_counter()
     spec = ClusterSpec(n_workers=n_workers, n_ps=1, workload="training")
-    rows = []
-    for slowdown in SLOWDOWNS:
-        slow_cfg = (
-            () if slowdown == 1.0 else (("worker:0", slowdown),)
+    points = [
+        (slowdown, algorithm)
+        for slowdown in SLOWDOWNS
+        for algorithm in ("baseline", "tic")
+    ]
+    cells = [
+        SimCell(
+            model=model,
+            spec=spec,
+            algorithm=algorithm,
+            platform="envG",
+            config=ctx.sim_config(
+                device_slowdown=()
+                if slowdown == 1.0
+                else (("worker:0", slowdown),)
+            ),
         )
-        for algorithm in ("baseline", "tic"):
-            result = simulate_cluster(
-                model, spec, algorithm=algorithm, platform="envG",
-                config=ctx.sim_config(device_slowdown=slow_cfg),
-            )
-            rows.append(
-                {
-                    "model": model,
-                    "slow_worker_factor": slowdown,
-                    "algorithm": algorithm,
-                    "iteration_ms": round(result.mean_iteration_time * 1e3, 1),
-                    "straggler_pct_max": round(result.max_straggler_pct, 2),
-                    "straggler_pct_mean": round(result.mean_straggler_pct, 2),
-                }
-            )
-        ctx.log(f"  stragglers x{slowdown}: done")
+        for slowdown, algorithm in points
+    ]
+    rows = []
+    for (slowdown, algorithm), result in zip(points, ctx.sweep.run_cells(cells)):
+        rows.append(
+            {
+                "model": model,
+                "slow_worker_factor": slowdown,
+                "algorithm": algorithm,
+                "iteration_ms": round(result.mean_iteration_time * 1e3, 1),
+                "straggler_pct_max": round(result.max_straggler_pct, 2),
+                "straggler_pct_mean": round(result.mean_straggler_pct, 2),
+            }
+        )
+        if algorithm == "tic":
+            ctx.log(f"  stragglers x{slowdown}: done")
     text = render_rows(
         rows,
         "Straggler decomposition (extends §6.3): scheduling-induced vs "

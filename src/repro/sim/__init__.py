@@ -4,7 +4,13 @@ from .config import COMPUTE_QUEUE_POLICIES, ENFORCEMENT_MODES, SimConfig
 from .engine import CompiledSimulation, IterationRecord
 from .metrics import IterationResult, SimulationResult, summarize_iteration
 from .pipeline import PipelinedResult, simulate_pipelined
-from .runner import prepare_schedule, simulate_cluster, speedup_vs_baseline
+from .runner import (
+    prepare_schedule,
+    simulate_cell_group,
+    simulate_cluster,
+    speedup_vs_baseline,
+    throughput_gain_pct,
+)
 
 __all__ = [
     "COMPUTE_QUEUE_POLICIES",
@@ -18,6 +24,8 @@ __all__ = [
     "PipelinedResult",
     "simulate_pipelined",
     "prepare_schedule",
+    "simulate_cell_group",
     "simulate_cluster",
     "speedup_vs_baseline",
+    "throughput_gain_pct",
 ]

@@ -9,7 +9,7 @@ measurement protocol: discard warm-up iterations, record the next N
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from ..core.schedules import Schedule
 from ..core.wizard import compute_schedule
@@ -95,6 +95,39 @@ def simulate_cluster(
     return result
 
 
+def simulate_cell_group(
+    model: Union[str, ModelIR],
+    spec: ClusterSpec,
+    variants: Sequence[tuple[str, Optional[SimConfig]]],
+    *,
+    platform: Union[str, Platform] = "envG",
+    batch_factor: float = 1.0,
+) -> list[SimulationResult]:
+    """Compile once, simulate many: build the model IR and cluster graph a
+    single time and run every ``(algorithm, config)`` variant against the
+    shared :class:`ClusterGraph`. This is the sweep runner's unit of work —
+    a grid's algorithms and iteration counts differ only in ``Schedule``
+    and ``SimConfig``, so recompiling per cell (as the seed's serial loops
+    did) is pure waste. Each variant is still fully deterministic in its
+    own config: the engine seeds from ``(config.seed, iteration)`` and
+    never mutates the cluster graph, so results are identical to separate
+    one-shot :func:`simulate_cluster` calls."""
+    plat = get_platform(platform) if isinstance(platform, str) else platform
+    ir = model if isinstance(model, ModelIR) else build_model(model, batch_factor=batch_factor)
+    cluster = build_cluster_graph(ir, spec)
+    return [
+        simulate_cluster(ir, spec, algorithm=algorithm, platform=plat,
+                         config=config, cluster=cluster)
+        for algorithm, config in variants
+    ]
+
+
+def throughput_gain_pct(sched: SimulationResult, base: SimulationResult) -> float:
+    """Relative throughput gain of a scheduled run over a baseline run, in
+    percent (the quantity plotted in Fig. 7, 9, 10, 13)."""
+    return (sched.throughput - base.throughput) / base.throughput * 100.0
+
+
 def speedup_vs_baseline(
     model: Union[str, ModelIR],
     spec: ClusterSpec,
@@ -106,12 +139,8 @@ def speedup_vs_baseline(
 ) -> tuple[float, SimulationResult, SimulationResult]:
     """Throughput gain of ``algorithm`` over the no-scheduling baseline, in
     percent (the quantity plotted in Fig. 7, 9, 10, 13)."""
-    plat = get_platform(platform) if isinstance(platform, str) else platform
-    ir = model if isinstance(model, ModelIR) else build_model(model, batch_factor=batch_factor)
-    cluster = build_cluster_graph(ir, spec)
-    base = simulate_cluster(ir, spec, algorithm="baseline", platform=plat,
-                            config=config, cluster=cluster)
-    sched = simulate_cluster(ir, spec, algorithm=algorithm, platform=plat,
-                             config=config, cluster=cluster)
-    gain = (sched.throughput - base.throughput) / base.throughput * 100.0
-    return gain, sched, base
+    base, sched = simulate_cell_group(
+        model, spec, [("baseline", config), (algorithm, config)],
+        platform=platform, batch_factor=batch_factor,
+    )
+    return throughput_gain_pct(sched, base), sched, base

@@ -1,0 +1,95 @@
+"""On-disk result cache.
+
+One JSON file per cache key under a two-level fan-out directory
+(``<root>/ab/<key>.json``). Writes are atomic (temp file + rename) so a
+crashed or parallel run never leaves a half-written entry; unreadable
+entries are treated as misses and overwritten. Keys are SHA-256 over the
+canonical JSON of (cell/task payload, code fingerprint) — see
+:mod:`repro.sweep.fingerprint` for what invalidates them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def cache_key(material: str) -> str:
+    """SHA-256 hex digest of key material (see ``cache_key_material``)."""
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+
+@dataclass
+class ResultCache:
+    """Directory-backed JSON store keyed by content hash."""
+
+    root: str
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[dict]:
+        path = self.path(key)
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            # ValueError covers JSONDecodeError and UnicodeDecodeError:
+            # any unreadable entry is a miss, never a crash.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def note_invalid(self) -> None:
+        """Reclassify the latest hit as a miss — for callers that reject a
+        payload after ``get`` (stale format, foreign entry)."""
+        self.stats.hits -= 1
+        self.stats.misses += 1
+
+    def put(self, key: str, payload: dict) -> str:
+        path = self.path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path(key))
+
+    def entry_count(self) -> int:
+        if not os.path.isdir(self.root):
+            return 0
+        return sum(
+            1
+            for dirpath, _dirs, files in os.walk(self.root)
+            for name in files
+            if name.endswith(".json") and not name.startswith(".tmp-")
+        )

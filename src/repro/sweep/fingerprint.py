@@ -1,0 +1,69 @@
+"""Code fingerprints for cache keys.
+
+A cached simulation result is only valid while the code that produced it
+is unchanged. Rather than a hand-bumped version constant (easy to forget),
+the cache key folds in a content hash of every source file in the
+packages that determine simulation numbers: ``core``, ``graph``,
+``models``, ``ps``, ``sim``, ``timing`` and ``training``. Presentation
+layers (``analysis``, ``experiments``, ``sweep`` itself) are deliberately
+excluded so that editing a driver's table formatting does not invalidate
+hours of simulated cells; function tasks additionally hash their defining
+module (see :meth:`FnTask.key_payload <repro.sweep.spec.FnTask>`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import os
+from functools import lru_cache
+
+#: Bump when the cache payload schema changes shape.
+CACHE_FORMAT = 1
+
+#: Subpackages of ``repro`` whose source affects simulated numbers.
+SIM_PACKAGES = ("core", "graph", "models", "ps", "sim", "timing", "training")
+
+
+def _package_root() -> str:
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _iter_sources(root: str) -> list[tuple[str, str]]:
+    """(relative path, absolute path) of every .py file under ``root``."""
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                path = os.path.join(dirpath, name)
+                out.append((os.path.relpath(path, root), path))
+    out.sort()
+    return out
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Stable hash of all simulation-relevant source in this checkout."""
+    digest = hashlib.sha256()
+    digest.update(f"format:{CACHE_FORMAT}".encode())
+    root = _package_root()
+    for package in SIM_PACKAGES:
+        for rel, path in _iter_sources(os.path.join(root, package)):
+            digest.update(f"{package}/{rel}".encode())
+            with open(path, "rb") as fh:
+                digest.update(fh.read())
+    return digest.hexdigest()
+
+
+@lru_cache(maxsize=None)
+def module_fingerprint(module_name: str) -> str:
+    """Content hash of one module's source file (for function tasks whose
+    defining module sits outside :data:`SIM_PACKAGES`)."""
+    module = importlib.import_module(module_name)
+    path = getattr(module, "__file__", None)
+    if path is None:  # pragma: no cover - builtins/namespace packages
+        return hashlib.sha256(module_name.encode()).hexdigest()
+    with open(path, "rb") as fh:
+        return hashlib.sha256(fh.read()).hexdigest()

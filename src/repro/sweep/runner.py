@@ -1,0 +1,186 @@
+"""The sweep runner: parallel, cached execution of evaluation grids.
+
+Execution pipeline for a batch of :class:`~repro.sweep.spec.SimCell`:
+
+1. **Dedupe** — identical cells (drivers overlap heavily; e.g. Fig. 7 and
+   the headline scan share their whole grid, and every speedup pair wants
+   the same baseline cell) collapse to one simulation.
+2. **Cache probe** — each unique cell's key (config + code fingerprint)
+   is looked up in the on-disk JSON cache; hits skip simulation entirely.
+3. **Group** — misses are grouped by (model, batch factor, cluster spec,
+   platform); each group compiles its model IR and cluster graph once and
+   runs all member cells against it (:func:`simulate_cell_group`).
+4. **Fan out** — groups execute either in-process (``jobs <= 1``) or on a
+   ``ProcessPoolExecutor``. Cells are independent and the engine seeds
+   from ``(config.seed, iteration)``, so parallel and serial execution
+   produce bitwise-identical results.
+5. **Round-trip** — every fresh result passes through the JSON
+   serialization (lossless for IEEE doubles) before being returned and
+   cached, so the first run and every cached re-run yield the exact same
+   numbers.
+
+:class:`FnTask` batches follow the same dedupe/cache/fan-out path, minus
+the grouping.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import NamedTuple, Optional, Sequence
+
+from ..sim.metrics import SimulationResult
+from ..sim.runner import simulate_cell_group, throughput_gain_pct
+from .cache import CacheStats, ResultCache, cache_key
+from .serialize import result_from_dict, result_to_dict
+from .spec import FnTask, SimCell
+
+def _run_group(cells: Sequence[SimCell]) -> list:
+    """Worker entry point: simulate one compile-once group (module-level
+    so process pools can pickle it). Cacheable cells come back as
+    serialized dicts; ``keep_op_times`` cells keep their live result (the
+    per-op arrays do not fit the JSON cache)."""
+    first = cells[0]
+    variants = [(c.algorithm, c.config) for c in cells]
+    results = simulate_cell_group(
+        first.model,
+        first.spec,
+        variants,
+        platform=first.platform,
+        batch_factor=first.batch_factor,
+    )
+    return [
+        result_to_dict(r) if cell.cacheable else r
+        for cell, r in zip(cells, results)
+    ]
+
+
+def _run_task(task: FnTask) -> object:
+    """Worker entry point for function tasks."""
+    return task.resolve()(**dict(task.kwargs))
+
+
+class Speedup(NamedTuple):
+    """One scheduled-vs-baseline comparison (Fig. 7/9/10/13's unit)."""
+
+    gain_pct: float
+    sched: SimulationResult
+    base: SimulationResult
+
+
+@dataclass
+class SweepRunner:
+    """Executes cell and task batches with caching and parallelism.
+
+    ``jobs`` caps worker processes (<=1 means in-process serial).
+    ``cache_dir=None`` disables the on-disk cache; ``rerun`` recomputes
+    every unit and refreshes its cache entry.
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    rerun: bool = False
+    stats: CacheStats = field(init=False)
+    _cache: Optional[ResultCache] = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cache_dir:
+            self._cache = ResultCache(os.fspath(self.cache_dir))
+            self.stats = self._cache.stats
+        else:
+            self.stats = CacheStats()
+
+    # -- cells ----------------------------------------------------------
+    def run_cells(self, cells: Sequence[SimCell]) -> list[SimulationResult]:
+        """Simulate a batch of cells; returns results in input order."""
+        order: dict[SimCell, None] = dict.fromkeys(cells)
+        resolved: dict[SimCell, SimulationResult] = {}
+        keys: dict[SimCell, str] = {}
+
+        pending: list[SimCell] = []
+        for cell in order:
+            payload = None
+            if self._cache is not None and cell.cacheable:
+                keys[cell] = cache_key(cell.cache_key_material())
+                if not self.rerun:
+                    payload = self._cache.get(keys[cell])
+            if payload is not None:
+                try:
+                    resolved[cell] = result_from_dict(payload)
+                    continue
+                except (KeyError, ValueError):
+                    self._cache.note_invalid()  # stale/foreign: recompute
+            pending.append(cell)
+
+        groups: dict[tuple, list[SimCell]] = {}
+        for cell in pending:
+            groups.setdefault(cell.group_key, []).append(cell)
+
+        for group, payloads in zip(
+            groups.values(), self._map(_run_group, list(groups.values()))
+        ):
+            for cell, payload in zip(group, payloads):
+                if isinstance(payload, dict):
+                    resolved[cell] = result_from_dict(payload)
+                    if self._cache is not None:
+                        self._cache.put(keys[cell], payload)
+                else:  # keep_op_times: live result, never cached
+                    resolved[cell] = payload
+        return [resolved[cell] for cell in cells]
+
+    def run_speedups(self, cells: Sequence[SimCell]) -> list[Speedup]:
+        """For each scheduled cell, also run its baseline twin and report
+        the throughput gain — the batched form of
+        :func:`~repro.sim.runner.speedup_vs_baseline` (identical numbers:
+        same shared cluster graph, same pairing, same gain formula)."""
+        flat: list[SimCell] = []
+        for cell in cells:
+            flat.append(cell.with_(algorithm="baseline"))
+            flat.append(cell)
+        results = self.run_cells(flat)
+        return [
+            Speedup(throughput_gain_pct(sched, base), sched, base)
+            for base, sched in zip(results[::2], results[1::2])
+        ]
+
+    # -- function tasks -------------------------------------------------
+    def run_tasks(self, tasks: Sequence[FnTask]) -> list[object]:
+        """Execute a batch of function tasks; returns values in input
+        order. Values are JSON-normalized (tuples become lists) so cached
+        and fresh runs are indistinguishable."""
+        import json
+
+        order: dict[FnTask, None] = dict.fromkeys(tasks)
+        resolved: dict[FnTask, object] = {}
+        keys: dict[FnTask, str] = {}
+
+        pending: list[FnTask] = []
+        for task in order:
+            payload = None
+            if self._cache is not None:
+                keys[task] = cache_key(task.cache_key_material())
+                if not self.rerun:
+                    payload = self._cache.get(keys[task])
+            if payload is not None:
+                if "value" in payload:
+                    resolved[task] = payload["value"]
+                    continue
+                self._cache.note_invalid()  # foreign entry: recompute
+            pending.append(task)
+
+        for task, value in zip(pending, self._map(_run_task, pending)):
+            value = json.loads(json.dumps(value))
+            resolved[task] = value
+            if self._cache is not None:
+                self._cache.put(keys[task], {"value": value})
+        return [resolved[task] for task in tasks]
+
+    # -- execution ------------------------------------------------------
+    def _map(self, fn, items: list) -> list:
+        if not items:
+            return []
+        if self.jobs <= 1 or len(items) == 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
+            return list(pool.map(fn, items))

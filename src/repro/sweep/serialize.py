@@ -1,0 +1,77 @@
+"""Lossless JSON round-trip for simulation results.
+
+The cache stores :class:`~repro.sim.metrics.SimulationResult` as JSON.
+Python's JSON encoder emits the shortest float representation that parses
+back to the identical IEEE-754 double, so a cached result reproduces the
+exact numbers of a fresh simulation — the equality the sweep tests assert
+bitwise. Per-op time arrays (``keep_op_times``) are not serialized; cells
+that request them bypass the cache.
+"""
+
+from __future__ import annotations
+
+from ..core.efficiency import EfficiencyReport
+from ..sim.metrics import IterationResult, SimulationResult
+
+RESULT_FORMAT = 1
+
+
+def iteration_to_dict(it: IterationResult) -> dict:
+    return {
+        "makespan": it.makespan,
+        "worker_finish": dict(it.worker_finish),
+        "efficiency": {
+            "makespan": it.efficiency.makespan,
+            "upper": it.efficiency.upper,
+            "lower": it.efficiency.lower,
+        },
+        "out_of_order_handoffs": it.out_of_order_handoffs,
+    }
+
+
+def iteration_from_dict(data: dict) -> IterationResult:
+    eff = data["efficiency"]
+    return IterationResult(
+        makespan=data["makespan"],
+        worker_finish=dict(data["worker_finish"]),
+        efficiency=EfficiencyReport(
+            makespan=eff["makespan"], upper=eff["upper"], lower=eff["lower"]
+        ),
+        out_of_order_handoffs=data["out_of_order_handoffs"],
+    )
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    return {
+        "format": RESULT_FORMAT,
+        "model": result.model,
+        "batch_size": result.batch_size,
+        "n_workers": result.n_workers,
+        "n_ps": result.n_ps,
+        "workload": result.workload,
+        "algorithm": result.algorithm,
+        "platform": result.platform,
+        "n_params": result.n_params,
+        "iterations": [iteration_to_dict(it) for it in result.iterations],
+        "warmup": [iteration_to_dict(it) for it in result.warmup],
+    }
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    version = data.get("format")
+    if version != RESULT_FORMAT:
+        raise ValueError(
+            f"unsupported result format {version!r} (expected {RESULT_FORMAT})"
+        )
+    return SimulationResult(
+        model=data["model"],
+        batch_size=data["batch_size"],
+        n_workers=data["n_workers"],
+        n_ps=data["n_ps"],
+        workload=data["workload"],
+        algorithm=data["algorithm"],
+        platform=data["platform"],
+        n_params=data["n_params"],
+        iterations=[iteration_from_dict(d) for d in data["iterations"]],
+        warmup=[iteration_from_dict(d) for d in data["warmup"]],
+    )

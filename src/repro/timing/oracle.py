@@ -20,6 +20,7 @@ of every replica in a cluster graph.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Iterable, Mapping, Union
 
 import numpy as np
@@ -110,7 +111,11 @@ class PerturbedOracle(TimeOracle):
 
     Each op's time is multiplied by an i.i.d. lognormal factor with scale
     ``sigma``; the perturbation is fixed per op name so repeated queries are
-    consistent (an oracle, however wrong, is deterministic).
+    consistent (an oracle, however wrong, is deterministic). The per-op
+    factor derives from a content hash of ``(seed, op name)`` — not
+    Python's ``hash()``, whose per-process salting (PYTHONHASHSEED) would
+    make the "same" oracle differ between processes and defeat result
+    caching and parallel/serial equality.
     """
 
     def __init__(self, base: TimeOracleLike, sigma: float, seed: int = 0) -> None:
@@ -122,9 +127,10 @@ class PerturbedOracle(TimeOracle):
     def __call__(self, op: Op) -> float:
         factor = self._cache.get(op.name)
         if factor is None:
-            rng = np.random.default_rng(
-                abs(hash((self._seed, op.name))) % (2**63)
-            )
+            digest = hashlib.sha256(
+                f"{self._seed}\x00{op.name}".encode()
+            ).digest()
+            rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
             factor = float(rng.lognormal(mean=0.0, sigma=self.sigma)) if self.sigma else 1.0
             self._cache[op.name] = factor
         return self.base(op) * factor

@@ -7,14 +7,18 @@ import sys
 import pytest
 
 EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+SRC = os.path.abspath(os.path.join(EXAMPLES, "..", "src"))
 
 
 def run_example(name, *args, timeout=600):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.run(
         [sys.executable, os.path.join(EXAMPLES, name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
 
 

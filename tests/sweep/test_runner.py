@@ -1,0 +1,215 @@
+"""Sweep-runner behavior: hit/miss, rerun, dedupe, parallel == serial,
+lossless serialization, and grid expansion."""
+
+import numpy as np
+import pytest
+
+from repro.ps import ClusterSpec
+from repro.sim import SimConfig, simulate_cluster, speedup_vs_baseline
+from repro.sweep import (
+    FnTask,
+    GridSpec,
+    SimCell,
+    SweepRunner,
+    cache_key,
+    result_from_dict,
+    result_to_dict,
+)
+
+CFG = SimConfig(iterations=2, warmup=0)
+
+
+def cache_key_of(cell: SimCell) -> str:
+    return cache_key(cell.cache_key_material())
+
+
+def tiny_cells():
+    return [
+        SimCell(model="AlexNet v2", spec=ClusterSpec(2, 1, "training"),
+                algorithm=a, config=CFG)
+        for a in ("baseline", "tic")
+    ]
+
+
+def assert_results_identical(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.summary() == y.summary()
+        assert x.iteration_times.tolist() == y.iteration_times.tolist()
+        for ix, iy in zip(x.iterations, y.iterations):
+            assert ix.worker_finish == iy.worker_finish
+            assert ix.efficiency.upper == iy.efficiency.upper
+            assert ix.efficiency.lower == iy.efficiency.lower
+
+
+class TestSerialization:
+    def test_roundtrip_is_bitwise(self):
+        result = simulate_cluster(
+            "AlexNet v2", ClusterSpec(2, 1, "training"), algorithm="tic",
+            config=SimConfig(iterations=2, warmup=1),
+        )
+        back = result_from_dict(result_to_dict(result))
+        assert back.summary() == result.summary()
+        assert back.iteration_times.tolist() == result.iteration_times.tolist()
+        assert len(back.warmup) == len(result.warmup)
+        assert back.warmup[0].makespan == result.warmup[0].makespan
+
+    def test_json_roundtrip_is_bitwise(self):
+        import json
+
+        result = simulate_cluster(
+            "AlexNet v2", ClusterSpec(2, 1, "training"), config=CFG
+        )
+        payload = json.loads(json.dumps(result_to_dict(result)))
+        assert_results_identical([result_from_dict(payload)], [result])
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="format"):
+            result_from_dict({"format": 999})
+
+
+class TestCacheBehavior:
+    def test_second_run_hits(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache_dir=str(tmp_path))
+        cells = tiny_cells()
+        first = runner.run_cells(cells)
+        assert runner.stats.misses == len(cells)
+        assert runner.stats.writes == len(cells)
+        second = runner.run_cells(cells)
+        assert runner.stats.hits == len(cells)
+        assert runner.stats.writes == len(cells)  # no re-simulation
+        assert_results_identical(first, second)
+
+    def test_cached_equals_fresh(self, tmp_path):
+        cells = tiny_cells()
+        cached_runner = SweepRunner(jobs=1, cache_dir=str(tmp_path))
+        cached_runner.run_cells(cells)
+        warm = SweepRunner(jobs=1, cache_dir=str(tmp_path)).run_cells(cells)
+        fresh = SweepRunner(jobs=1, cache_dir=None).run_cells(cells)
+        assert_results_identical(warm, fresh)
+
+    def test_rerun_recomputes(self, tmp_path):
+        cells = tiny_cells()
+        SweepRunner(jobs=1, cache_dir=str(tmp_path)).run_cells(cells)
+        rerunner = SweepRunner(jobs=1, cache_dir=str(tmp_path), rerun=True)
+        rerunner.run_cells(cells)
+        assert rerunner.stats.hits == 0
+        assert rerunner.stats.writes == len(cells)
+
+    def test_no_cache_dir_disables_cache(self):
+        runner = SweepRunner(jobs=1, cache_dir=None)
+        runner.run_cells(tiny_cells())
+        assert runner.stats.as_dict() == {"hits": 0, "misses": 0, "writes": 0}
+
+    def test_dedupe_collapses_equal_cells(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache_dir=str(tmp_path))
+        cells = tiny_cells()
+        results = runner.run_cells(cells + cells)
+        assert runner.stats.misses == len(cells)  # not 2x
+        assert_results_identical(results[: len(cells)], results[len(cells):])
+
+    def test_keep_op_times_bypasses_cache(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache_dir=str(tmp_path))
+        cell = tiny_cells()[0].with_(
+            config=CFG.with_(keep_op_times=True)
+        )
+        result, = runner.run_cells([cell])
+        assert result.iterations[0].start is not None
+        assert runner.stats.writes == 0
+
+    def test_stale_format_entry_recomputes_and_counts_as_miss(self, tmp_path):
+        import json
+
+        runner = SweepRunner(jobs=1, cache_dir=str(tmp_path))
+        cells = tiny_cells()
+        runner.run_cells(cells)
+        # Corrupt one entry with a future format version.
+        cache = runner._cache
+        victim = cache.path(sorted(
+            key for key in (
+                cache_key_of(c) for c in cells
+            )
+        )[0])
+        with open(victim) as fh:
+            payload = json.load(fh)
+        payload["format"] = 999
+        with open(victim, "w") as fh:
+            json.dump(payload, fh)
+
+        fresh = SweepRunner(jobs=1, cache_dir=str(tmp_path))
+        results = fresh.run_cells(cells)
+        assert len(results) == len(cells)
+        assert fresh.stats.hits == len(cells) - 1
+        assert fresh.stats.misses == 1  # the rejected entry, reclassified
+        assert fresh.stats.writes == 1  # recomputed and refreshed
+
+    def test_fn_tasks_cache(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache_dir=str(tmp_path))
+        task = FnTask(fn="repro.experiments.table1:model_characteristics",
+                      kwargs=(("name", "AlexNet v2"),))
+        first, = runner.run_tasks([task])
+        assert runner.stats.misses == 1
+        second, = runner.run_tasks([task])
+        assert runner.stats.hits == 1
+        assert first == second
+        assert first["params"] > 0
+
+
+class TestParallel:
+    def test_parallel_equals_serial(self, tmp_path):
+        cells = GridSpec(
+            models=("AlexNet v2", "Inception v1"),
+            workloads=("training", "inference"),
+            worker_counts=(2,),
+            ps_counts=(1,),
+            algorithms=("baseline", "tic"),
+        ).cells(CFG)
+        serial = SweepRunner(jobs=1, cache_dir=None).run_cells(cells)
+        parallel = SweepRunner(jobs=2, cache_dir=None).run_cells(cells)
+        assert_results_identical(serial, parallel)
+
+    def test_parallel_tasks_equal_serial(self):
+        tasks = [
+            FnTask(fn="repro.experiments.table1:model_characteristics",
+                   kwargs=(("name", name),))
+            for name in ("AlexNet v2", "Inception v1")
+        ]
+        serial = SweepRunner(jobs=1).run_tasks(tasks)
+        parallel = SweepRunner(jobs=2).run_tasks(tasks)
+        assert serial == parallel
+
+
+class TestSpeedups:
+    def test_matches_seed_helper(self):
+        spec = ClusterSpec(2, 1, "training")
+        cell = SimCell(model="AlexNet v2", spec=spec, algorithm="tic", config=CFG)
+        (gain, sched, base), = SweepRunner(jobs=1).run_speedups([cell])
+        ref_gain, ref_sched, ref_base = speedup_vs_baseline(
+            "AlexNet v2", spec, algorithm="tic", config=CFG
+        )
+        assert gain == ref_gain
+        assert_results_identical([sched, base], [ref_sched, ref_base])
+
+
+class TestGridSpec:
+    def test_expansion_size_and_order(self):
+        grid = GridSpec(
+            models=("A", "B"),
+            workloads=("inference", "training"),
+            worker_counts=(2, 4),
+            ps_counts=(1, 2),
+            algorithms=("tic",),
+        )
+        cells = list(grid.iter_cells(CFG))
+        assert len(cells) == len(grid) == 16
+        assert cells[0].spec.workload == "inference"
+        assert [c.model for c in cells[:4]] == ["A"] * 4
+        assert [c.spec.n_ps for c in cells[:4]] == [1, 2, 1, 2]
+
+    def test_ps_from_workers_policy(self):
+        grid = GridSpec(
+            models=("A",), worker_counts=(2, 4, 8, 16), ps_from_workers=True
+        )
+        cells = grid.cells(CFG)
+        assert len(cells) == len(grid) == 4
+        assert [c.spec.n_ps for c in cells] == [1, 1, 2, 4]
