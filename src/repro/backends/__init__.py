@@ -1,0 +1,194 @@
+"""Communication-backend registry: spec type -> graph builder + wizard.
+
+Two backends ship: the parameter-server architecture
+(:class:`~repro.ps.cluster.ClusterSpec`) and the collective all-reduce
+architecture (:class:`~repro.collectives.CollectiveSpec`). A spec object
+fully names a cluster shape; this module dispatches on its *type* so the
+simulation entry points (:mod:`repro.sim.runner`), the sweep runner and
+the experiment drivers stay backend-agnostic. Third-party backends
+register with :func:`register_backend`.
+
+The module also owns the **wizard memo** (ROADMAP item): an in-process
+cache of ordering-wizard passes keyed by the *reference projection* of a
+spec — the fields the reference partition actually depends on. A PS
+reference depends on (workload, n_ps, sharding) but not worker count; a
+collective reference depends on nothing but the model. One TAC trace
+therefore serves a whole worker-scaling sweep instead of being recomputed
+per cell, the same way simulated cells are cached on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: Most entries a wizard memo holds before evicting its oldest (a
+#: schedule is a few KB; sweeps touch far fewer distinct references).
+_MEMO_CAP = 256
+
+
+@dataclass(frozen=True)
+class CommBackend:
+    """One communication architecture the simulator can execute.
+
+    ``build_graph(ir, spec)`` assembles the one-iteration cluster DAG;
+    ``prepare_schedule(ir, spec, algorithm, platform, *, trace_runs,
+    seed)`` runs the ordering wizard; ``schedule_key(spec)`` projects a
+    spec onto the fields its reference partition depends on (the wizard
+    memo key — coarser is better, wrong is catastrophic).
+    """
+
+    name: str
+    spec_type: type
+    build_graph: Callable
+    prepare_schedule: Callable
+    schedule_key: Callable
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.spec_type.__name__})"
+
+
+_BACKENDS: dict[str, CommBackend] = {}
+_BY_SPEC_TYPE: dict[type, CommBackend] = {}
+_defaults_loaded = False
+
+
+def register_backend(backend: CommBackend) -> None:
+    """Register a backend; later registrations replace earlier ones.
+
+    The built-in backends are loaded first, so a third-party registration
+    can never suppress (only deliberately replace) ``ps``/``allreduce``.
+    """
+    _ensure_defaults()
+    _BACKENDS[backend.name] = backend
+    _BY_SPEC_TYPE[backend.spec_type] = backend
+
+
+def _ps_prepare(ir, spec, algorithm, platform, *, trace_runs: int = 5, seed: int = 0):
+    from ..core.wizard import compute_schedule
+    from ..ps.reference import build_reference_partition
+    from ..timing import estimate_time_oracle
+
+    reference = build_reference_partition(
+        ir, workload=spec.workload, n_ps=spec.n_ps, sharding=spec.sharding
+    )
+    oracle = None
+    if algorithm == "tac":
+        oracle = estimate_time_oracle(
+            reference.graph, platform, runs=trace_runs, seed=seed
+        )
+    return compute_schedule(reference, algorithm, oracle=oracle, seed=seed)
+
+
+def _ensure_defaults() -> None:
+    global _defaults_loaded
+    if _defaults_loaded:
+        return
+    _defaults_loaded = True  # set first: the registrations below re-enter
+    from ..collectives import (
+        CollectiveSpec,
+        build_collective_graph,
+        prepare_collective_schedule,
+        reference_schedule_key,
+    )
+    from ..ps.cluster import ClusterSpec, build_cluster_graph
+
+    register_backend(
+        CommBackend(
+            name="ps",
+            spec_type=ClusterSpec,
+            build_graph=build_cluster_graph,
+            prepare_schedule=_ps_prepare,
+            schedule_key=lambda spec: (
+                "ps", spec.workload, spec.n_ps, spec.sharding
+            ),
+        )
+    )
+    register_backend(
+        CommBackend(
+            name="allreduce",
+            spec_type=CollectiveSpec,
+            build_graph=build_collective_graph,
+            prepare_schedule=prepare_collective_schedule,
+            schedule_key=lambda spec: reference_schedule_key(spec),
+        )
+    )
+
+
+def backends() -> dict[str, CommBackend]:
+    """Registered backends by name."""
+    _ensure_defaults()
+    return dict(_BACKENDS)
+
+
+def backend_for_spec(spec) -> CommBackend:
+    """The backend owning ``spec``'s type; raises ``TypeError`` otherwise."""
+    _ensure_defaults()
+    backend = _BY_SPEC_TYPE.get(type(spec))
+    if backend is None:
+        known = ", ".join(b.describe() for b in _BACKENDS.values())
+        raise TypeError(
+            f"no communication backend registered for {type(spec).__name__}; "
+            f"known: {known}"
+        )
+    return backend
+
+
+def build_comm_graph(ir, spec, **kwargs):
+    """Assemble the cluster DAG for ``spec``, whichever backend owns it."""
+    return backend_for_spec(spec).build_graph(ir, spec, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Wizard memo
+# ----------------------------------------------------------------------
+
+_schedule_memo: dict[tuple, object] = {}
+
+
+def prepare_comm_schedule(
+    ir,
+    spec,
+    algorithm: str,
+    platform,
+    *,
+    trace_runs: int = 5,
+    seed: int = 0,
+):
+    """Backend-dispatched, memoized ordering-wizard pass.
+
+    The memo key combines the model's structural fingerprint (a content
+    hash of the full IR — nodes, wiring, FLOPs, parameter census — so two
+    different models can never collide), the backend's reference
+    projection of ``spec``, and the wizard knobs. Results are
+    deterministic in the key, so reuse is exact; only the ``meta``
+    wall-clock diagnostics of a reused schedule reflect the original run.
+    """
+    backend = backend_for_spec(spec)
+    key = (
+        ir.structural_fingerprint(),
+        backend.schedule_key(spec),
+        algorithm,
+        platform,
+        trace_runs,
+        seed,
+    )
+    schedule = _schedule_memo.get(key)
+    if schedule is None:
+        schedule = backend.prepare_schedule(
+            ir, spec, algorithm, platform, trace_runs=trace_runs, seed=seed
+        )
+        while len(_schedule_memo) >= _MEMO_CAP:
+            _schedule_memo.pop(next(iter(_schedule_memo)))
+        _schedule_memo[key] = schedule
+    return schedule
+
+
+def schedule_memo_size() -> int:
+    """Entries currently memoized (diagnostics/tests)."""
+    return len(_schedule_memo)
+
+
+def clear_schedule_memo() -> None:
+    """Drop all memoized wizard passes (tests)."""
+    _schedule_memo.clear()

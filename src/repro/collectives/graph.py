@@ -1,0 +1,234 @@
+"""Collective cluster-graph assembly (the all-reduce twin of
+:mod:`repro.ps.cluster`).
+
+One :class:`CollectiveGraph` holds a single barrier-to-barrier iteration of
+synchronous data-parallel training over W workers with no parameter
+server: gradients are synchronized by a ring or hierarchical all-reduce
+over chunk units (:mod:`repro.collectives.partition`), and every worker
+applies the update locally.
+
+**Window framing.** The iteration boundary sits at "backward pass
+complete", mirroring the PS builder's convention that ``read`` ops serve
+the *previous* iteration's value: each chunk's ``grad_ready`` root
+represents the gradients produced by the previous window, available at the
+barrier with no dependency inside this window. The window then contains
+
+    grad_ready (roots) -> all-reduce chunk chains -> per-worker update
+    -> parameter entry -> forward -> backward -> grad markers (leaves)
+
+so the all-reduce of chunk c overlaps the forward/backward compute of
+every layer *not* gated by c — exactly the overlap DeAR's decoupled
+all-reduce exploits, and the reason chunk transfer order matters: chunks
+feeding early forward layers must win the wire first. That makes the DAG
+the same scheduling problem TicTac solves for PS recvs, with chunks in
+place of parameter pulls (see :mod:`repro.collectives.schedule`).
+
+Resource model: transfers occupy the existing directional
+``link:src->dst`` channels and per-device NIC resources of
+:mod:`repro.sim.engine`; every chunk-chain step is one transfer op, so the
+engine's chunked round-robin NIC sharing, per-transfer RPC latency and
+priority gating apply unchanged. Per-step ring reduction FLOPs are folded
+into each worker's chunk ``update`` op (cost ``(R-1)/R * E`` for a ring of
+R participants, plus the SGD apply's ``2E``) to avoid doubling the op
+count with micro reduce ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph import Graph, OpKind, Resource
+from ..models.emit import WORKER_TRAINING, emit_graph
+from ..models.ir import ModelIR
+from ..ps.cluster import Transfer
+from .hierarchical import emit_hierarchical_allreduce
+from .partition import Chunk, partition_tensors
+from .ring import emit_ring_allreduce
+from .spec import CollectiveSpec
+
+#: pseudo PS device name satisfying worker emission's placement contract
+#: (parameters are locally resident in the collective backend).
+LOCAL = "local"
+
+
+@dataclass
+class CollectiveGraph:
+    """A fully assembled, resource-tagged collective DAG (one iteration).
+
+    Field names mirror :class:`~repro.ps.cluster.ClusterGraph` so the
+    simulator, metrics and analysis layers consume either interchangeably.
+    """
+
+    spec: CollectiveSpec
+    model: ModelIR
+    graph: Graph
+    chunks: list[Chunk]
+    #: every transfer, grouped by the link resource it occupies.
+    transfers_by_link: dict[Resource, list[Transfer]] = field(default_factory=dict)
+    #: op ids per worker device (for straggler accounting).
+    worker_ops: dict[str, list[int]] = field(default_factory=dict)
+    #: per-worker map param name -> op id delivering its reduced value
+    #: (the chunk update op; the ClusterGraph analogue maps to recvs).
+    param_recvs: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: op ids per iteration (single window for now).
+    iteration_ops: dict[int, list[int]] = field(default_factory=dict)
+    #: chunk name -> member parameter names (the scheduling seam).
+    chunk_params: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: chunk name -> layerwise chunk index (priority tie-break).
+    chunk_order: dict[str, int] = field(default_factory=dict)
+    n_iterations: int = 1
+
+    @property
+    def param_transfers(self) -> list[Transfer]:
+        """No PS-style parameter pulls exist in this backend."""
+        return []
+
+    def _register_transfer(self, link: Resource, transfer: Transfer) -> None:
+        self.transfers_by_link.setdefault(link, []).append(transfer)
+
+
+def build_collective_graph(ir: ModelIR, spec: CollectiveSpec) -> CollectiveGraph:
+    """Assemble the one-iteration collective DAG for ``ir`` under ``spec``."""
+    chunks = partition_tensors(
+        ir.params, spec.partition_bytes, fuse=spec.fuse
+    )
+    g = Graph(
+        f"{ir.name}/allreduce-{spec.topology}/w{spec.n_workers}"
+        f"/p{spec.partition_bytes}"
+    )
+    cluster = CollectiveGraph(
+        spec=spec,
+        model=ir,
+        graph=g,
+        chunks=chunks,
+        chunk_params={c.name: c.params for c in chunks},
+        chunk_order={c.name: c.index for c in chunks},
+    )
+    workers = spec.workers
+    chunk_of_param = {p: c for c in chunks for p in c.params}
+    worker_ops = {w: [] for w in workers}
+
+    # --- gradient-ready roots (previous window's gradients, at barrier) --
+    roots: dict[tuple[str, str], int] = {}
+    for w in workers:
+        compute = Resource.compute(w)
+        for c in chunks:
+            op = g.add_op(
+                f"{w}/{c.name}/grad_ready",
+                OpKind.READ,
+                (),
+                cost=0.0,
+                device=w,
+                resource=compute,
+                timing_key=f"{c.name}/grad_ready",
+                chunk_root=c.name,
+            )
+            roots[(w, c.name)] = op.op_id
+            worker_ops[w].append(op.op_id)
+
+    # --- all-reduce chain per chunk --------------------------------------
+    def make_add_transfer(chunk: Chunk):
+        def add_transfer(name, src, dst, nbytes, deps) -> int:
+            link = Resource.link(src, dst)
+            op = g.add_op(
+                name,
+                OpKind.SEND,
+                deps,
+                cost=float(nbytes),
+                param=chunk.name,
+                device=src,
+                resource=link,
+                timing_key=name.split("/", 1)[1],
+                chunk=chunk.name,
+            )
+            cluster._register_transfer(
+                link, Transfer(op.op_id, chunk.name, src, dst, "chunk", 0)
+            )
+            worker_ops[src].append(op.op_id)
+            return op.op_id
+
+        return add_transfer
+
+    def add_compute(name, device, flops, deps) -> int:
+        op = g.add_op(
+            name,
+            OpKind.AGGREGATE,
+            deps,
+            cost=float(flops),
+            device=device,
+            resource=Resource.compute(device),
+            timing_key=name.split("/", 1)[1],
+        )
+        worker_ops[device].append(op.op_id)
+        return op.op_id
+
+    update_ids: dict[tuple[str, str], int] = {}
+    for c in chunks:
+        chunk_roots = {w: roots[(w, c.name)] for w in workers}
+        if spec.topology == "ring":
+            finish = emit_ring_allreduce(
+                workers, c.name, float(c.nbytes), chunk_roots,
+                make_add_transfer(c),
+            )
+            # every worker reduced W-1 incoming segments of E/W elements
+            reduce_share = {
+                w: (spec.n_workers - 1) / spec.n_workers * c.n_elements
+                for w in workers
+            }
+        else:
+            groups = spec.groups()
+            finish = emit_hierarchical_allreduce(
+                groups, c.name, float(c.nbytes), c.n_elements, chunk_roots,
+                make_add_transfer(c), add_compute,
+            )
+            # leaders reduced around the inter-group ring; members only
+            # apply (group sums are costed by the group_reduce ops).
+            L = len(groups)
+            reduce_share = {w: 0.0 for w in workers}
+            for group in groups:
+                reduce_share[group[0]] = (L - 1) / L * c.n_elements
+        for w in workers:
+            op = g.add_op(
+                f"{w}/{c.name}/update",
+                OpKind.UPDATE,
+                [finish[w]],
+                cost=2.0 * c.n_elements + reduce_share[w],
+                device=w,
+                resource=Resource.compute(w),
+                timing_key=f"{c.name}/update",
+            )
+            update_ids[(w, c.name)] = op.op_id
+            worker_ops[w].append(op.op_id)
+
+    # --- worker replicas, gated by the chunk updates ---------------------
+    placement = {p.name: LOCAL for p in ir.params}
+    replica = emit_graph(ir, WORKER_TRAINING, placement=placement)
+    for w in workers:
+        compute = Resource.compute(w)
+        mapping = g.merge(replica.graph, rename=lambda n: f"{w}/{n}")
+        recvs: dict[str, int] = {}
+        for src_op in replica.graph:
+            op = g.op(mapping[src_op.op_id])
+            op.device = w
+            op.resource = compute
+            worker_ops[w].append(op.op_id)
+            if op.kind is OpKind.RECV:
+                # Parameter entry: locally resident, served once this
+                # window's all-reduce has updated it.
+                op.kind = OpKind.READ
+                op.cost = 0.0
+                op.attrs["local_param"] = True
+                chunk = chunk_of_param[op.param]
+                g.add_edge(update_ids[(w, chunk.name)], op.op_id)
+                recvs[op.param] = update_ids[(w, chunk.name)]
+            elif op.kind is OpKind.SEND:
+                # Gradient exit: zero-cost marker; the produced gradient
+                # is consumed by the *next* window's all-reduce.
+                op.kind = OpKind.COMPUTE
+                op.cost = 0.0
+                op.attrs["grad_marker"] = True
+        cluster.param_recvs[w] = recvs
+
+    cluster.worker_ops = worker_ops
+    cluster.iteration_ops[0] = list(range(len(g)))
+    return cluster

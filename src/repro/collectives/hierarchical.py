@@ -1,0 +1,89 @@
+"""Two-level (hierarchical) all-reduce DAG emission for one chunk.
+
+The NCCL/horovod-style hierarchy for W workers in L groups of G:
+
+1. **intra-group reduce** — every non-leader member sends its full chunk
+   to the group leader (one transfer per member on the ``member->leader``
+   link); the leader sums the G contributions (a compute op on the
+   leader, ``(G-1) * E`` FLOPs);
+2. **inter-group ring** — the L leaders ring-all-reduce the group sums
+   (re-using :func:`~repro.collectives.ring.emit_ring_allreduce` with the
+   leaders as the ring and the local reduce ops as the roots); skipped
+   when L == 1;
+3. **intra-group broadcast** — each leader sends the fully-reduced chunk
+   back to its members (one transfer per member on ``leader->member``).
+
+Per chunk a leader's NIC carries ``(G-1)`` chunk-sizes in, ``2(L-1)/L``
+around the ring and ``(G-1)`` out — the leader links are the bottleneck,
+exactly the trade hierarchical all-reduce makes to keep the ring short.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from .ring import AddTransfer, emit_ring_allreduce
+
+AddCompute = Callable[..., int]  # (name, device, flops, deps) -> op id
+
+
+def emit_hierarchical_allreduce(
+    groups: Sequence[Sequence[str]],
+    chunk_name: str,
+    chunk_nbytes: float,
+    chunk_elements: int,
+    roots: Mapping[str, int],
+    add_transfer: AddTransfer,
+    add_compute: AddCompute,
+) -> dict[str, int]:
+    """Emit one chunk's two-level all-reduce; ``groups[k][0]`` leads group
+    ``k``. Returns worker -> op id delivering the reduced chunk there."""
+    leaders = [group[0] for group in groups]
+
+    # Phase 1: intra-group reduce into each leader.
+    reduce_roots: dict[str, int] = {}
+    for group in groups:
+        leader = group[0]
+        deps = [roots[leader]]
+        for member in group[1:]:
+            deps.append(
+                add_transfer(
+                    f"{member}/{chunk_name}/reduce->{leader}",
+                    member,
+                    leader,
+                    float(chunk_nbytes),
+                    [roots[member]],
+                )
+            )
+        reduce_roots[leader] = add_compute(
+            f"{leader}/{chunk_name}/group_reduce",
+            leader,
+            float((len(group) - 1) * chunk_elements),
+            deps,
+        )
+
+    # Phase 2: ring all-reduce among the leaders (L == 1 degenerates to
+    # the single group sum already held by the lone leader).
+    finish = emit_ring_allreduce(
+        leaders,
+        chunk_name,
+        chunk_nbytes,
+        reduce_roots,
+        add_transfer,
+        phase_prefix="xring",
+    )
+
+    # Phase 3: broadcast from each leader back into its group.
+    out: dict[str, int] = {}
+    for group in groups:
+        leader = group[0]
+        out[leader] = finish[leader]
+        for member in group[1:]:
+            out[member] = add_transfer(
+                f"{leader}/{chunk_name}/bcast->{member}",
+                leader,
+                member,
+                float(chunk_nbytes),
+                [finish[leader]],
+            )
+    return out

@@ -1,0 +1,72 @@
+"""Ring all-reduce DAG emission for one chunk.
+
+The classic bandwidth-optimal schedule (Baidu/NCCL ring): W workers hold a
+chunk of E elements, logically cut into W segments. For ``2(W-1)`` steps
+every worker simultaneously sends one segment of ``E/W`` elements to its
+ring successor — the first ``W-1`` steps reduce-scatter (each received
+segment is summed into the local copy before being forwarded), the last
+``W-1`` steps all-gather the reduced segments. Each worker therefore puts
+``2(W-1)/W`` of the chunk's bytes on its egress NIC, which yields the
+analytic wire time ``2(W-1)/W * M/B`` the tests validate against.
+
+The emitted DAG models each (worker, step) send as one transfer op on the
+directional ``link:worker:i->worker:i+1`` channel. Step ``t`` of worker
+``i`` forwards the segment received at step ``t-1`` from its predecessor,
+so each transfer depends on the predecessor's previous-step transfer (the
+wavefront) and on the worker's own gradient-ready root (the segment must
+be summed with the local gradient during reduce-scatter). Per-step
+reduction FLOPs are folded into the chunk's update op
+(:mod:`repro.collectives.graph`) to keep the op count at ``2W(W-1)``
+transfers per chunk rather than doubling it with micro reduce ops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+AddTransfer = Callable[..., int]  # (name, src, dst, nbytes, deps) -> op id
+
+
+def emit_ring_allreduce(
+    workers: Sequence[str],
+    chunk_name: str,
+    chunk_nbytes: float,
+    roots: Mapping[str, int],
+    add_transfer: AddTransfer,
+    *,
+    phase_prefix: str = "ring",
+) -> dict[str, int]:
+    """Emit one chunk's ring all-reduce over ``workers``.
+
+    ``roots`` maps worker name -> op id of its gradient-ready op.
+    ``add_transfer(name, src, dst, nbytes, deps)`` appends one transfer op
+    and returns its op id. Returns worker name -> op id of the op whose
+    completion delivers the fully-reduced chunk on that worker (the final
+    incoming transfer; the root itself when W == 1).
+    """
+    W = len(workers)
+    if W == 1:
+        return {workers[0]: roots[workers[0]]}
+    seg_bytes = chunk_nbytes / W
+    prev_step: list[int] = []
+    for t in range(2 * (W - 1)):
+        phase = "rs" if t < W - 1 else "ag"
+        cur: list[int] = []
+        for i, src in enumerate(workers):
+            dst = workers[(i + 1) % W]
+            deps = [roots[src]]
+            if t > 0:
+                deps.append(prev_step[(i - 1) % W])
+            cur.append(
+                add_transfer(
+                    f"{src}/{chunk_name}/{phase_prefix}{t}.{phase}->{dst}",
+                    src,
+                    dst,
+                    seg_bytes,
+                    deps,
+                )
+            )
+        prev_step = cur
+    # After the last step, worker i's final segment arrived from its
+    # predecessor's last send.
+    return {w: prev_step[(i - 1) % W] for i, w in enumerate(workers)}

@@ -1,0 +1,56 @@
+"""Ordering-wizard pass for the collective backend.
+
+The DAG abstraction is the seam that lets TIC/TAC transfer unchanged from
+the PS architecture to collectives: both backends present the scheduler
+with the same question — *which outstanding parameter arrival unblocks
+computation soonest?* — because the collective window
+(:mod:`repro.collectives.graph`) gates each forward layer on its chunk's
+all-reduce exactly as the PS window gates it on the parameter pull.
+
+So the wizard here is literally the PS wizard on a single-worker reference
+partition with one pseudo shard (every parameter behind one link — the
+collective wire): Algorithm 1's comm/computation-dependency time ratios
+(``M``, ``P``, ``M+``) and the Eq. 6 comparator carry over with no change.
+The resulting per-parameter priorities are lowered onto chunk transfer ops
+by :func:`repro.core.schedules.chunk_ranks` (a chunk inherits the best
+priority among its member tensors) inside the simulation engine.
+
+Because the reference partition depends only on the model — not on worker
+count, topology or partition size — one wizard pass serves every cell of
+an all-reduce sweep; :func:`repro.backends.prepare_comm_schedule` memoizes
+on exactly that projection.
+"""
+
+from __future__ import annotations
+
+from ..core.schedules import Schedule
+from ..core.wizard import compute_schedule
+from ..models.ir import ModelIR
+from ..ps.reference import build_reference_partition
+from ..timing import Platform, estimate_time_oracle
+from .spec import CollectiveSpec
+
+
+def prepare_collective_schedule(
+    ir: ModelIR,
+    spec: CollectiveSpec,
+    algorithm: str,
+    platform: Platform,
+    *,
+    trace_runs: int = 5,
+    seed: int = 0,
+) -> Schedule:
+    """Offline wizard pass for a collective configuration (see module doc)."""
+    reference = build_reference_partition(ir, workload="training", n_ps=1)
+    oracle = None
+    if algorithm == "tac":
+        oracle = estimate_time_oracle(
+            reference.graph, platform, runs=trace_runs, seed=seed
+        )
+    return compute_schedule(reference, algorithm, oracle=oracle, seed=seed)
+
+
+def reference_schedule_key(spec: CollectiveSpec) -> tuple:
+    """Projection of ``spec`` onto what the wizard pass actually depends
+    on: nothing — every collective spec shares one reference partition."""
+    return ("allreduce",)

@@ -64,3 +64,33 @@ class Schedule:
 def no_schedule() -> Schedule:
     """The baseline: no priorities — the executor's arbitrary order."""
     return Schedule(algorithm="baseline")
+
+
+def chunk_ranks(
+    schedule: Schedule,
+    chunk_params: Mapping[str, Sequence[str]],
+    chunk_order: Mapping[str, int],
+) -> dict[str, int]:
+    """Lower per-parameter priorities onto collective transfer chunks.
+
+    A chunk (a slice of one tensor or a fusion of several — see
+    :mod:`repro.collectives.partition`) inherits the *best* (minimum)
+    priority among its member parameters: completing the chunk is what
+    delivers those parameters, so it is exactly as urgent as its most
+    urgent member. Ties — including chunks with no prioritized member —
+    break by ``chunk_order`` (layerwise chunk index), keeping ranks
+    deterministic and total. Returns dense ranks ``0..n-1`` over every
+    chunk, lower = earlier on the wire (§3.1 semantics carried over).
+    """
+    inf = float("inf")
+
+    def key(name: str) -> tuple:
+        prios = [
+            schedule.priorities[p]
+            for p in chunk_params[name]
+            if p in schedule.priorities
+        ]
+        return (min(prios) if prios else inf, chunk_order[name])
+
+    ordered = sorted(chunk_params, key=key)
+    return {name: rank for rank, name in enumerate(ordered)}

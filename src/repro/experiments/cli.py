@@ -15,6 +15,7 @@ from typing import Callable, Optional, Sequence
 
 from . import (
     ablations,
+    allreduce,
     fig7,
     fig8,
     fig9,
@@ -44,9 +45,11 @@ DRIVERS: dict[str, Callable[[Context], ExperimentOutput]] = {
     "ablations": ablations.run,
     "stragglers": stragglers.run,
     "pipelining": pipelining.run,
+    "allreduce": allreduce.run,
 }
 
-#: 'all' runs everything in the paper's presentation order.
+#: 'all' runs everything in the paper's presentation order, then the
+#: beyond-the-paper extension drivers.
 ORDER = (
     "table1",
     "motivation",
@@ -61,6 +64,7 @@ ORDER = (
     "ablations",
     "stragglers",
     "pipelining",
+    "allreduce",
 )
 
 
@@ -71,12 +75,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
-        choices=sorted(DRIVERS) + ["all"],
-        help="which drivers to run ('all' for every table/figure)",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="which drivers to run ('all' for every table/figure): "
+        + ", ".join(sorted(DRIVERS)),
     )
-    parser.add_argument("--full", action="store_true",
-                        help="paper-scale protocol (slow); default is quick scale")
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--full", action="store_true",
+                       help="paper-scale protocol (slow); default is quick scale")
+    scale.add_argument("--quick", action="store_true",
+                       help="force quick scale (overrides $REPRO_SCALE)")
     parser.add_argument("--results-dir", default="results")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--quiet", action="store_true")
@@ -87,23 +95,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="disable the on-disk sweep result cache")
     parser.add_argument("--rerun", action="store_true",
                         help="recompute every cell, refreshing cache entries")
+    parser.add_argument("--cache-max-mb", type=float, default=None, metavar="MB",
+                        help="size cap for the sweep cache; least-recently-"
+                        "used entries are evicted after the run "
+                        "(default: $REPRO_CACHE_MAX_MB or unbounded)")
+    parser.add_argument("--cache-gc", action="store_true",
+                        help="run the cache eviction pass (with --cache-max-mb,"
+                        " or $REPRO_CACHE_MAX_MB, or 0 to empty); may be used "
+                        "without naming any experiment")
     args = parser.parse_args(argv)
+    if not args.experiments and not args.cache_gc:
+        parser.error("name at least one experiment (or use --cache-gc)")
+    unknown = [e for e in args.experiments if e != "all" and e not in DRIVERS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {unknown}; "
+            f"choose from {', '.join(sorted(DRIVERS))}, all"
+        )
 
+    full = True if args.full else (False if args.quick else None)
     ctx = make_context(
-        full=True if args.full else None,
+        full=full,
         results_dir=args.results_dir,
         seed=args.seed,
         verbose=not args.quiet,
         jobs=args.jobs,
         rerun=args.rerun,
         **({"use_cache": False} if args.no_cache else {}),
+        **({"cache_max_mb": args.cache_max_mb}
+           if args.cache_max_mb is not None else {}),
     )
     names = list(ORDER) if "all" in args.experiments else args.experiments
     for name in names:
         ctx.log(f"=== {name} (scale={ctx.scale.name}, jobs={ctx.jobs}) ===")
         DRIVERS[name](ctx)
-    if ctx.use_cache:
+    if names and ctx.use_cache:
         ctx.log(f"sweep cache: {ctx.sweep.stats.as_dict()}")
+    if args.cache_gc and ctx.cache_max_mb is None:
+        ctx.cache_max_mb = 0.0  # explicit GC with no cap empties the cache
+    ctx.gc_cache()
     return 0
 
 

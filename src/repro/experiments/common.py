@@ -19,9 +19,29 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from ..analysis import format_table, write_csv
+from ..backends import backends as comm_backends
 from ..sim import SimConfig
 from ..sweep import SweepRunner
 from ..sweep.spec import ps_for_workers  # noqa: F401 — drivers import it from here
+
+
+def make_spec(backend: str, **kwargs):
+    """Construct a cluster spec for a communication backend by name.
+
+    Drivers build cluster shapes through this helper so experiment code
+    names backends ('ps', 'allreduce', ...), not spec classes. The name
+    table is the one registry in :mod:`repro.backends` — backends added
+    with ``register_backend`` are immediately sweepable here.
+    """
+    registry = comm_backends()
+    try:
+        ctor = registry[backend].spec_type
+    except KeyError:
+        raise KeyError(
+            f"unknown communication backend {backend!r}; "
+            f"available: {sorted(registry)}"
+        ) from None
+    return ctor(**kwargs)
 
 #: Fig. 7's model set (the paper's nine; Table 1 lists ten — ResNet-101 v2
 #: appears only in Table 1).
@@ -101,6 +121,9 @@ class Context:
     use_cache: bool = True
     rerun: bool = False
     cache_dir: Optional[str] = None
+    #: size cap (MiB) for the sweep cache; ``None`` keeps entries forever.
+    #: Enforced by :meth:`gc_cache` after a CLI run (LRU eviction).
+    cache_max_mb: Optional[float] = None
     _sweep: Optional[SweepRunner] = field(
         default=None, repr=False, compare=False
     )
@@ -118,6 +141,35 @@ class Context:
                 jobs=self.jobs, cache_dir=cache_dir, rerun=self.rerun
             )
         return self._sweep
+
+    def gc_cache(self) -> Optional[dict]:
+        """Apply the ``cache_max_mb`` cap to the on-disk sweep cache
+        (no-op when no cap is configured).
+
+        Operates on the cache directory directly, so an explicitly
+        requested eviction works even when this run did not use the cache
+        (``--no-cache`` / ``REPRO_NO_CACHE=1``).
+        """
+        if self.cache_max_mb is None:
+            return None
+        if self.use_cache:
+            runner = self.sweep
+        else:  # --no-cache run: point a throwaway runner at the directory
+            cache_dir = self.cache_dir or os.path.join(
+                self.results_dir, ".sweep-cache"
+            )
+            runner = SweepRunner(cache_dir=cache_dir)
+        summary = runner.gc_cache(self.cache_max_mb)
+        if summary is None:  # pragma: no cover - runner without a cache dir
+            return None
+        self.log(
+            f"sweep cache gc: removed {summary['entries_removed']} "
+            f"entries ({summary['bytes_removed'] / 2**20:.1f} MiB), "
+            f"kept {summary['entries_kept']} "
+            f"({summary['bytes_kept'] / 2**20:.1f} MiB <= "
+            f"{self.cache_max_mb:.0f} MiB cap)"
+        )
+        return summary
 
     def sim_config(self, **overrides) -> SimConfig:
         base = dict(
@@ -140,8 +192,9 @@ def make_context(
     **kwargs,
 ) -> Context:
     """Build a context; ``full=None`` consults ``REPRO_SCALE``/``REPRO_FULL``,
-    ``jobs=None`` consults ``REPRO_JOBS`` (default 1), and
-    ``REPRO_NO_CACHE=1`` disables the sweep cache."""
+    ``jobs=None`` consults ``REPRO_JOBS`` (default 1),
+    ``REPRO_NO_CACHE=1`` disables the sweep cache, and
+    ``REPRO_CACHE_MAX_MB`` caps its size (LRU eviction after each run)."""
     if full is None:
         env = os.environ.get("REPRO_SCALE", "").lower()
         full = env == "full" or os.environ.get("REPRO_FULL", "") == "1"
@@ -149,6 +202,8 @@ def make_context(
         jobs = int(os.environ.get("REPRO_JOBS", "1"))
     if "use_cache" not in kwargs and os.environ.get("REPRO_NO_CACHE", "") == "1":
         kwargs["use_cache"] = False
+    if "cache_max_mb" not in kwargs and os.environ.get("REPRO_CACHE_MAX_MB"):
+        kwargs["cache_max_mb"] = float(os.environ["REPRO_CACHE_MAX_MB"])
     return Context(
         scale=FULL if full else QUICK, results_dir=results_dir, jobs=jobs, **kwargs
     )

@@ -137,6 +137,29 @@ class ModelIR:
                 out[inp].append(node.name)
         return out
 
+    def structural_fingerprint(self) -> str:
+        """Content hash of everything graph emission consumes: node order,
+        ops, wiring, shapes, FLOPs and the full parameter census.
+
+        Two IRs with equal fingerprints emit identical graphs (up to
+        batch size, hashed in), so the fingerprint is a sound memo key
+        for anything derived from the emitted graph — e.g. the ordering
+        wizard's schedules (:func:`repro.backends.prepare_comm_schedule`).
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(f"{self.name}|{self.batch_size}".encode())
+        for node in self:
+            digest.update(
+                f"|{node.name}|{node.op}|{','.join(node.inputs)}"
+                f"|{node.out_shape}|{node.flops}|{sorted(node.attrs.items())!r}"
+                .encode()
+            )
+            for p in node.params:
+                digest.update(f"|{p.name}|{p.shape}".encode())
+        return digest.hexdigest()
+
     def validate(self) -> None:
         """Check IR invariants: unique params, positive shapes, known ops."""
         seen: set[str] = set()

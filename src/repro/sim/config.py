@@ -31,6 +31,18 @@ ENFORCEMENT_MODES = ("sender", "ready_queue", "dag", "none")
 #: nondeterministic executor; ``fifo`` is deterministic by ready time.
 COMPUTE_QUEUE_POLICIES = ("random", "fifo")
 
+#: How a schedule's priorities gate *collective chunk* transfers (the
+#: reduce-scatter/all-gather ops of :mod:`repro.collectives`). Chunk
+#: streams are worker-to-worker pipelines with no PS-side hand-off op, so
+#: the §5.1 sender counters and the DAG strawman do not apply; instead a
+#: scheduled channel picks from its ready queue:
+#:
+#: * ``priority`` — lowest chunk rank first (ByteScheduler's priority
+#:   queue; applied under every enforcement mode except ``none``);
+#: * ``fifo`` — ignore chunk ranks, serve in hand-off order (ablation:
+#:   enforcement machinery without priorities).
+CHUNK_QUEUE_POLICIES = ("priority", "fifo")
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -39,6 +51,9 @@ class SimConfig:
     seed: int = 0
     enforcement: str = "sender"
     compute_queue: str = "random"
+    #: collective chunk gating policy (see CHUNK_QUEUE_POLICIES; ignored
+    #: by the PS backend, whose transfers follow ``enforcement``).
+    chunk_queue: str = "priority"
     #: probability that a hand-off lands one slot early in the gRPC queue
     #: (the paper measured 0.4-0.5% residual out-of-order transfers).
     grpc_reorder_prob: float = 0.005
@@ -75,6 +90,10 @@ class SimConfig:
         if self.compute_queue not in COMPUTE_QUEUE_POLICIES:
             raise ValueError(
                 f"compute_queue must be one of {COMPUTE_QUEUE_POLICIES}"
+            )
+        if self.chunk_queue not in CHUNK_QUEUE_POLICIES:
+            raise ValueError(
+                f"chunk_queue must be one of {CHUNK_QUEUE_POLICIES}"
             )
         if not 0.0 <= self.grpc_reorder_prob <= 1.0:
             raise ValueError("grpc_reorder_prob must be in [0, 1]")

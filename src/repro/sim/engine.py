@@ -34,7 +34,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.schedules import Schedule
+from ..core.schedules import Schedule, chunk_ranks
 from ..graph import OpKind, ResourceKind
 from ..ps.cluster import ClusterGraph
 from ..timing import Platform
@@ -62,7 +62,14 @@ class IterationRecord:
 
 
 class CompiledSimulation:
-    """A cluster graph compiled to flat arrays, executable per iteration."""
+    """A cluster graph compiled to flat arrays, executable per iteration.
+
+    ``cluster`` is either a PS :class:`~repro.ps.cluster.ClusterGraph` or a
+    collective :class:`~repro.collectives.CollectiveGraph` — the engine
+    only consumes their shared surface (``graph``, ``transfers_by_link``,
+    ``worker_ops``) plus, for collective graphs, the chunk metadata that
+    lowers schedule priorities onto chunk transfer ops.
+    """
 
     def __init__(
         self,
@@ -120,6 +127,14 @@ class CompiledSimulation:
             if iid not in chans:
                 chans.append(iid)
         self.chunk_wire = self.config.chunk_bytes / platform.bandwidth_bps
+        #: collective chunk transfers (reduce-scatter/all-gather steps);
+        #: gated by priority rank at the channel queue, not by §5.1
+        #: sender counters (there is no PS-side hand-off op to gate).
+        self.is_chunk = np.zeros(n, dtype=bool)
+        for transfers in cluster.transfers_by_link.values():
+            for t in transfers:
+                if t.kind == "chunk":
+                    self.is_chunk[t.op_id] = True
         #: concurrent-capacity per resource: compute engines run one op at
         #: a time; a NIC sustains platform.nic_slots(device) full-rate
         #: connections (PS NICs are fatter than worker NICs in envG).
@@ -166,6 +181,19 @@ class CompiledSimulation:
 
     def _compile_gates(self, g) -> None:
         mode = self.config.enforcement
+        # Collective chunk transfers: lower the per-parameter schedule
+        # onto chunk ranks once, globally (prio comparisons only ever
+        # happen within one channel queue, so global dense ranks serve).
+        if self.is_chunk.any() and self.config.chunk_queue == "priority":
+            ranks = chunk_ranks(
+                self.schedule,
+                self.cluster.chunk_params,
+                self.cluster.chunk_order,
+            )
+            for transfers in self.cluster.transfers_by_link.values():
+                for t in transfers:
+                    if t.kind == "chunk":
+                        self.prio[t.op_id] = ranks[t.param]
         for link, transfers in sorted(
             self.cluster.transfers_by_link.items(), key=lambda kv: kv[0].name
         ):
@@ -288,7 +316,10 @@ class CompiledSimulation:
             """
             if started[queue[0]]:
                 return 0
-            if mode == "ready_queue" and self.prio:
+            if self.prio and (mode == "ready_queue" or self.is_chunk[queue[0]]):
+                # Priority pick: the idealized ready-queue semantics, and
+                # the gating for collective chunk streams under every
+                # enforcement mode but 'none' (see SimConfig.chunk_queue).
                 prios = [self.prio.get(op) for op in queue]
                 known = [p for p in prios if p is not None]
                 lowest = min(known) if known else None

@@ -11,13 +11,12 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
+from ..backends import build_comm_graph, prepare_comm_schedule
 from ..core.schedules import Schedule
-from ..core.wizard import compute_schedule
 from ..models import build_model
 from ..models.ir import ModelIR
-from ..ps.cluster import ClusterGraph, ClusterSpec, build_cluster_graph
-from ..ps.reference import build_reference_partition
-from ..timing import Platform, estimate_time_oracle, get_platform
+from ..ps.cluster import ClusterGraph, ClusterSpec
+from ..timing import Platform, get_platform
 from .config import SimConfig
 from .engine import CompiledSimulation
 from .metrics import SimulationResult, summarize_iteration
@@ -34,16 +33,12 @@ def prepare_schedule(
 ) -> Schedule:
     """Offline ordering-wizard pass for a cluster configuration (§5):
     build the reference worker partition, trace it for TAC's oracle,
-    run the heuristic."""
-    reference = build_reference_partition(
-        ir, workload=spec.workload, n_ps=spec.n_ps, sharding=spec.sharding
+    run the heuristic. Dispatches on the spec's backend (PS or
+    collective) and memoizes identical passes within the process — see
+    :func:`repro.backends.prepare_comm_schedule`."""
+    return prepare_comm_schedule(
+        ir, spec, algorithm, platform, trace_runs=trace_runs, seed=seed
     )
-    oracle = None
-    if algorithm == "tac":
-        oracle = estimate_time_oracle(
-            reference.graph, platform, runs=trace_runs, seed=seed
-        )
-    return compute_schedule(reference, algorithm, oracle=oracle, seed=seed)
 
 
 def simulate_cluster(
@@ -62,13 +57,16 @@ def simulate_cluster(
     Either pass a precomputed ``schedule`` or an ``algorithm`` name for the
     wizard ('baseline', 'tic', 'tac', 'tic_plus', 'random', 'layerwise',
     'reverse_layerwise'). ``cluster`` short-circuits graph assembly when
-    sweeping algorithms over one configuration.
+    sweeping algorithms over one configuration. ``spec`` selects the
+    communication backend by type: a PS
+    :class:`~repro.ps.cluster.ClusterSpec` or a collective
+    :class:`~repro.collectives.CollectiveSpec`.
     """
     plat = get_platform(platform) if isinstance(platform, str) else platform
     cfg = config or SimConfig()
     ir = model if isinstance(model, ModelIR) else build_model(model, batch_factor=batch_factor)
     if cluster is None:
-        cluster = build_cluster_graph(ir, spec)
+        cluster = build_comm_graph(ir, spec)
     elif cluster.spec != spec:
         raise ValueError("provided cluster graph was built for a different spec")
     if schedule is None:
@@ -114,7 +112,7 @@ def simulate_cell_group(
     one-shot :func:`simulate_cluster` calls."""
     plat = get_platform(platform) if isinstance(platform, str) else platform
     ir = model if isinstance(model, ModelIR) else build_model(model, batch_factor=batch_factor)
-    cluster = build_cluster_graph(ir, spec)
+    cluster = build_comm_graph(ir, spec)
     return [
         simulate_cluster(ir, spec, algorithm=algorithm, platform=plat,
                          config=config, cluster=cluster)

@@ -6,6 +6,11 @@ crashed or parallel run never leaves a half-written entry; unreadable
 entries are treated as misses and overwritten. Keys are SHA-256 over the
 canonical JSON of (cell/task payload, code fingerprint) — see
 :mod:`repro.sweep.fingerprint` for what invalidates them.
+
+Entries live until :meth:`ResultCache.gc` evicts them: a size-capped LRU
+pass that deletes least-recently-*used* entries (every cache hit bumps the
+entry's mtime) until the cache fits the cap. Stale ``.tmp-`` droppings
+from crashed writers are collected on the way.
 """
 
 from __future__ import annotations
@@ -54,6 +59,10 @@ class ResultCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        try:
+            os.utime(path)  # LRU bump: gc evicts by mtime
+        except OSError:  # pragma: no cover - read-only cache mounts
+            pass
         return payload
 
     def note_invalid(self) -> None:
@@ -80,6 +89,62 @@ class ResultCache:
             raise
         self.stats.writes += 1
         return path
+
+    def gc(self, max_bytes: int) -> dict:
+        """Size-capped LRU eviction: delete least-recently-used entries
+        until the cache holds at most ``max_bytes`` of entry payloads.
+
+        Usage recency is the entry file's mtime (bumped by :meth:`get`).
+        Orphaned ``.tmp-`` files from crashed writers are always removed.
+        Concurrent deletion is tolerated (missing files just count as
+        already gone). Returns a summary dict for logging/tests.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        entries: list[tuple[float, int, str]] = []  # (mtime, size, path)
+        removed = freed = 0
+        for dirpath, _dirs, files in os.walk(self.root):
+            for name in files:
+                path = os.path.join(dirpath, name)
+                if name.startswith(".tmp-"):
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                    continue
+                if not name.endswith(".json"):
+                    continue
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, st.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        entries.sort()  # oldest mtime first
+        i = 0
+        while total > max_bytes and i < len(entries):
+            _, size, path = entries[i]
+            i += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+            total -= size
+        # prune fan-out directories emptied by the eviction pass
+        for dirpath, dirs, files in os.walk(self.root, topdown=False):
+            if dirpath != self.root and not dirs and not files:
+                try:
+                    os.rmdir(dirpath)
+                except OSError:
+                    pass
+        return {
+            "entries_kept": len(entries) - removed,
+            "entries_removed": removed,
+            "bytes_kept": total,
+            "bytes_removed": freed,
+        }
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self.path(key))

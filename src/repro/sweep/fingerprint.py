@@ -22,7 +22,10 @@ from functools import lru_cache
 CACHE_FORMAT = 1
 
 #: Subpackages of ``repro`` whose source affects simulated numbers.
-SIM_PACKAGES = ("core", "graph", "models", "ps", "sim", "timing", "training")
+SIM_PACKAGES = (
+    "backends", "collectives", "core", "graph", "models", "ps", "sim",
+    "timing", "training",
+)
 
 
 def _package_root() -> str:

@@ -176,6 +176,15 @@ class SweepRunner:
                 self._cache.put(keys[task], {"value": value})
         return [resolved[task] for task in tasks]
 
+    # -- cache maintenance ----------------------------------------------
+    def gc_cache(self, max_mb: float) -> Optional[dict]:
+        """Evict least-recently-used cache entries down to ``max_mb``
+        mebibytes (see :meth:`~repro.sweep.cache.ResultCache.gc`).
+        Returns the eviction summary, or ``None`` when caching is off."""
+        if self._cache is None:
+            return None
+        return self._cache.gc(int(max_mb * 2**20))
+
     # -- execution ------------------------------------------------------
     def _map(self, fn, items: list) -> list:
         if not items:

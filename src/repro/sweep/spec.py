@@ -67,7 +67,14 @@ class SimCell:
         return not self.config.keep_op_times
 
     def key_payload(self) -> dict:
-        return {"kind": "sim_cell", "cell": asdict(self)}
+        # The spec's class name is part of the key: multiple backend spec
+        # types share this cache keyspace, and two specs of different
+        # backends must never collide even if their field dicts coincide.
+        return {
+            "kind": "sim_cell",
+            "spec_type": type(self.spec).__name__,
+            "cell": asdict(self),
+        }
 
     def cache_key_material(self) -> str:
         return canonical_json(

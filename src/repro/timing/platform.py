@@ -150,7 +150,23 @@ ENV_C = Platform(
     jitter_sigma=0.05,
 )
 
-PLATFORMS: dict[str, Platform] = {"envG": ENV_G, "envC": ENV_C}
+# A diagnostic platform for wire-level validation: effectively free
+# compute, no per-op/RPC overhead, no jitter — a simulation's makespan on
+# ``wire`` is purely network time, so it can be compared against analytic
+# bandwidth bounds (e.g. ring all-reduce's 2(W-1)/W * M/B; see
+# tests/collectives and the allreduce driver's bound-check rows).
+WIRE = Platform(
+    name="wire",
+    worker_flops=1e18,
+    ps_flops=1e18,
+    bandwidth_bps=1e9,
+    rpc_latency_s=0.0,
+    op_overhead_s=0.0,
+    jitter_sigma=0.0,
+    ps_nic_slots=1,
+)
+
+PLATFORMS: dict[str, Platform] = {"envG": ENV_G, "envC": ENV_C, "wire": WIRE}
 
 
 def get_platform(name: str) -> Platform:

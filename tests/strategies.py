@@ -5,6 +5,7 @@ from __future__ import annotations
 from hypothesis import strategies as st
 
 from repro.graph import Graph, OpKind, Resource
+from repro.models.builder import NetBuilder
 
 WORKER = "worker:0"
 PS = "ps:0"
@@ -43,3 +44,24 @@ def worker_dags(draw, max_recvs: int = 6, max_compute: int = 14):
                  resource=compute, device=WORKER, timing_key=name)
         names.append(name)
     return g
+
+
+@st.composite
+def model_irs(draw, max_convs: int = 4):
+    """A random small convnet :class:`~repro.models.ir.ModelIR`.
+
+    Varies depth, channel widths, bias/bn mix and batch size — enough
+    shape diversity to exercise tensor partitioning/fusion and collective
+    graph assembly without the cost of a zoo model.
+    """
+    n_convs = draw(st.integers(min_value=1, max_value=max_convs))
+    batch = draw(st.sampled_from([1, 4, 16]))
+    b = NetBuilder("hypo_net", batch, input_hw=(16, 16))
+    for i in range(n_convs):
+        out_ch = draw(st.sampled_from([4, 8, 24]))
+        bias = draw(st.booleans())
+        b.conv(f"conv{i}", 3, out_ch, bias=bias, bn=not bias)
+    b.max_pool("pool", 2, 2)
+    b.fc("logits", draw(st.sampled_from([10, 100])))
+    b.softmax("predictions")
+    return b.build()
