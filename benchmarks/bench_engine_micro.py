@@ -5,10 +5,10 @@ make the paper-scale protocol impractical."""
 
 import numpy as np
 
-from repro.core import PropertyEngine, tac, tic
+from repro.core import PropertyEngine, Schedule, tac, tic
 from repro.models import build_model
 from repro.ps import ClusterSpec, build_cluster_graph, build_reference_partition
-from repro.sim import CompiledSimulation, SimConfig
+from repro.sim import CompiledCore, CompiledSimulation, SimConfig, SimVariant
 from repro.timing import ENV_G, estimate_time_oracle
 
 
@@ -47,6 +47,47 @@ def test_bench_simulated_iteration(benchmark):
     sim = CompiledSimulation(cluster, ENV_G, None, SimConfig())
     record = benchmark(sim.run_iteration, 0)
     assert record.makespan > 0
+
+
+def test_bench_scheduled_iteration(benchmark):
+    """The sender-enforcement path: §5.1 counters + eligible-set upkeep."""
+    ir = build_model("Inception v3")
+    cluster = build_cluster_graph(ir, ClusterSpec(4, 1, "training"))
+    schedule = Schedule("layerwise", {p.name: i for i, p in enumerate(ir.params)})
+    sim = CompiledSimulation(cluster, ENV_G, schedule,
+                             SimConfig(enforcement="sender"))
+    record = benchmark(sim.run_iteration, 0)
+    assert record.makespan > 0
+
+
+def test_bench_run_iterations_batch(benchmark):
+    """The batch API end to end (10 iterations per round)."""
+    cluster = build_cluster_graph(
+        build_model("Inception v3"), ClusterSpec(4, 1, "training")
+    )
+    sim = CompiledSimulation(cluster, ENV_G, None, SimConfig())
+    records = benchmark(sim.run_iterations, 0, 10)
+    assert len(records) == 10
+
+
+def test_bench_core_compilation(benchmark):
+    """CompiledCore lowering — paid once per (cluster, platform) group."""
+    cluster = build_cluster_graph(
+        build_model("Inception v3"), ClusterSpec(4, 1, "training")
+    )
+    core = benchmark(CompiledCore, cluster, ENV_G)
+    assert core.n == len(cluster.graph)
+
+
+def test_bench_variant_binding(benchmark):
+    """SimVariant binding — paid per (schedule, config) cell; must be far
+    cheaper than core compilation for compile-once sharing to pay off."""
+    ir = build_model("Inception v3")
+    cluster = build_cluster_graph(ir, ClusterSpec(4, 1, "training"))
+    core = CompiledCore(cluster, ENV_G)
+    schedule = Schedule("layerwise", {p.name: i for i, p in enumerate(ir.params)})
+    variant = benchmark(SimVariant, core, schedule, SimConfig())
+    assert variant.n_channels > 0
 
 
 def test_bench_cluster_graph_assembly(benchmark):

@@ -1,0 +1,185 @@
+"""Engine micro-benchmark + CI regression gate.
+
+Times the simulator's hot paths on fixed workloads and compares against the
+committed baseline in ``BENCH_engine.json``. Two entry points::
+
+    PYTHONPATH=src python benchmarks/engine_perf.py measure        # print JSON
+    PYTHONPATH=src python benchmarks/engine_perf.py check          # CI gate
+
+``check`` exits non-zero when any benchmarked workload runs more than
+``--tolerance`` (default 25%) slower than the committed ``after`` numbers —
+the perf-trajectory guard ISSUE 3 wires into CI. Because CI runners are
+heterogeneous, the comparison is normalized by a **calibration kernel**:
+an engine-independent mix of heap/list/RNG work timed in the same run,
+whose baseline cost is committed alongside the workload numbers. A host
+that is uniformly 1.8x slower scales every expectation by 1.8x, so only a
+*relative* engine regression trips the gate. ``measure --update after``
+rewrites the ``after`` block (and its calibration) in place.
+
+Workloads (chosen to cover both engine regimes):
+
+* ``iteration_unscheduled`` — one baseline iteration of Inception v3 on a
+  4-worker/1-PS training cluster (the historic ``bench_engine_micro``
+  workload): compute-queue and NIC round-robin dominated.
+* ``iteration_scheduled`` — the same cluster under a layerwise schedule
+  with sender enforcement: gate bookkeeping + priority paths.
+* ``batch_10`` — ``run_iterations(0, 10)`` of the unscheduled sim: the
+  amortized batch API end to end (per-second number is per iteration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_engine.json")
+
+
+def build_workloads():
+    from repro.core import Schedule
+    from repro.models import build_model
+    from repro.ps import ClusterSpec, build_cluster_graph
+    from repro.sim import CompiledSimulation, SimConfig
+    from repro.timing import ENV_G
+
+    ir = build_model("Inception v3")
+    cluster = build_cluster_graph(ir, ClusterSpec(4, 1, "training"))
+    layerwise = Schedule("layerwise", {p.name: i for i, p in enumerate(ir.params)})
+    plain = CompiledSimulation(cluster, ENV_G, None, SimConfig())
+    sched = CompiledSimulation(cluster, ENV_G, layerwise,
+                               SimConfig(enforcement="sender"))
+
+    def run_batch():
+        if hasattr(plain, "run_iterations"):
+            return plain.run_iterations(0, 10)
+        return [plain.run_iteration(i) for i in range(10)]
+
+    return {
+        "iteration_unscheduled": (lambda: plain.run_iteration(0), 1),
+        "iteration_scheduled": (lambda: sched.run_iteration(0), 1),
+        "batch_10": (run_batch, 10),
+    }
+
+
+def _calibration_kernel() -> float:
+    """Engine-independent host-speed probe: the same interpreter/numpy
+    operation mix the event loop leans on (heap tuples, list queues,
+    scalar Generator draws). Returns a checksum so the work is not
+    optimized away."""
+    rng = np.random.default_rng(12345)
+    rng_integers = rng.integers
+    heap: list = []
+    seq = 0
+    acc = 0.0
+    queue: list[int] = []
+    for i in range(150_000):
+        heapq.heappush(heap, (float(i % 997) * 1e-3, seq, i & 3, i))
+        seq += 1
+        if i & 1:
+            t, _s, _c, _op = heapq.heappop(heap)
+            acc += t
+        queue.append(i)
+        if len(queue) > 64:
+            queue.pop(0)
+    for _ in range(15_000):
+        acc += float(rng_integers(7))
+    return acc
+
+
+def measure(repeats: int = 5) -> tuple[dict, float]:
+    """(seconds-per-iteration per workload, calibration-kernel seconds)."""
+    results = {}
+    for name, (fn, per_call) in build_workloads().items():
+        fn()  # warm caches (allocator, first-touch numpy paths)
+        best = min(_time_once(fn) for _ in range(repeats))
+        results[name] = best / per_call
+    _calibration_kernel()
+    calibration = min(_time_once(_calibration_kernel) for _ in range(repeats))
+    return results, calibration
+
+
+def _time_once(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def load_baseline() -> dict:
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=["measure", "check"])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional slowdown vs baseline (check)")
+    parser.add_argument("--update", choices=["before", "after"],
+                        help="write measurements into BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    results, calibration = measure(args.repeats)
+    print(json.dumps(
+        {**{k: round(v, 6) for k, v in results.items()},
+         "calibration": round(calibration, 6)},
+        indent=1,
+    ))
+
+    if args.update:
+        bench = load_baseline()
+        bench[args.update] = {k: round(v, 6) for k, v in results.items()}
+        bench[f"{args.update}_calibration"] = round(calibration, 6)
+        _rederive(bench)
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(bench, fh, indent=1)
+            fh.write("\n")
+        print(f"updated {args.update!r} in {BASELINE_PATH}")
+
+    if args.command == "check":
+        bench = load_baseline()
+        baseline = bench["after"]
+        base_cal = bench.get("after_calibration")
+        scale = calibration / base_cal if base_cal else 1.0
+        print(f"host speed vs baseline host: {scale:.2f}x "
+              f"(calibration {calibration*1e3:.0f} ms vs {base_cal*1e3:.0f} ms)"
+              if base_cal else "no calibration baseline; absolute comparison")
+        failures = []
+        for name, sec in results.items():
+            ref = baseline.get(name)
+            if ref is None:
+                continue
+            slowdown = sec / (ref * scale) - 1.0
+            status = "FAIL" if slowdown > args.tolerance else "ok"
+            print(f"  {name}: {sec*1e3:.1f} ms vs scaled baseline "
+                  f"{ref*scale*1e3:.1f} ms ({slowdown:+.0%}) {status}")
+            if slowdown > args.tolerance:
+                failures.append(name)
+        if failures:
+            print(f"REGRESSION: {', '.join(failures)} exceeded "
+                  f"{args.tolerance:.0%} over the committed baseline",
+                  file=sys.stderr)
+            return 1
+        print("engine perf within tolerance")
+    return 0
+
+
+def _rederive(bench: dict) -> None:
+    """Recompute the before/after speedup block when both sides exist."""
+    before, after = bench.get("before"), bench.get("after")
+    if before and after:
+        bench["speedup"] = {
+            k: round(before[k] / after[k], 2)
+            for k in after
+            if k in before and after[k]
+        }
+
+
+if __name__ == "__main__":
+    sys.exit(main())

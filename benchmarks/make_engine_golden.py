@@ -1,0 +1,42 @@
+"""Regenerate the engine-equivalence golden records.
+
+Writes ``tests/sim/golden_engine.json``: the exact per-iteration makespans,
+out-of-order counts and array digests of the engine across every backend x
+enforcement mode x jitter combination (the matrix is defined once, in
+``tests/sim/test_engine_golden.py``, and replayed by that test).
+
+Regenerate ONLY when intentionally changing engine semantics::
+
+    PYTHONPATH=src python benchmarks/make_engine_golden.py
+
+and say so in the commit message: every cached sweep result and committed
+results/*.csv implicitly depends on these numbers (bump
+``repro.sim.engine.ENGINE_REV`` in the same change so stale cache entries
+are never served).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from tests.sim.test_engine_golden import (  # noqa: E402
+    GOLDEN_PATH,
+    ITERATIONS,
+    case_matrix,
+    run_case,
+)
+
+
+def main() -> None:
+    golden = [run_case(case) for case in case_matrix()]
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump({"iterations_per_case": ITERATIONS, "cases": golden}, fh, indent=1)
+    print(f"wrote {len(golden)} cases to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

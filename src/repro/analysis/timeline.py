@@ -1,7 +1,8 @@
 """Execution-timeline tooling: ASCII Gantt charts and Chrome-trace export.
 
 Both consume an :class:`~repro.sim.engine.IterationRecord` together with
-the :class:`~repro.sim.engine.CompiledSimulation` that produced it:
+the :class:`~repro.sim.engine.SimVariant` (or one-shot
+:class:`~repro.sim.engine.CompiledSimulation`) that produced it:
 
 * :func:`ascii_gantt` renders per-resource occupancy as text — handy to
   eyeball why a schedule wins (the paper's Fig. 1b/1c, for real models);
@@ -17,10 +18,10 @@ from typing import Optional
 
 import numpy as np
 
-from ..sim.engine import CompiledSimulation, IterationRecord
+from ..sim.engine import IterationRecord, SimVariant
 
 
-def _op_rows(sim: CompiledSimulation, record: IterationRecord, min_duration: float):
+def _op_rows(sim: SimVariant, record: IterationRecord, min_duration: float):
     """Yield (resource_name, op_name, start, end) for drawable ops."""
     names = sim.resource_names()
     g = sim.cluster.graph
@@ -37,7 +38,7 @@ def _op_rows(sim: CompiledSimulation, record: IterationRecord, min_duration: flo
 
 
 def ascii_gantt(
-    sim: CompiledSimulation,
+    sim: SimVariant,
     record: IterationRecord,
     *,
     width: int = 80,
@@ -69,7 +70,7 @@ def ascii_gantt(
 
 
 def chrome_trace(
-    sim: CompiledSimulation,
+    sim: SimVariant,
     record: IterationRecord,
     *,
     min_duration_frac: float = 0.0,
@@ -111,7 +112,7 @@ def chrome_trace(
 
 
 def write_chrome_trace(
-    path: str, sim: CompiledSimulation, record: IterationRecord, **kw
+    path: str, sim: SimVariant, record: IterationRecord, **kw
 ) -> str:
     """Serialize :func:`chrome_trace` to ``path`` (JSON array format)."""
     import os

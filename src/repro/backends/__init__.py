@@ -15,6 +15,17 @@ reference depends on (workload, n_ps, sharding) but not worker count; a
 collective reference depends on nothing but the model. One TAC trace
 therefore serves a whole worker-scaling sweep instead of being recomputed
 per cell, the same way simulated cells are cached on disk.
+
+It likewise owns the **graph memo**: an in-process cache of assembled
+cluster DAGs keyed by (model structural fingerprint, spec). A sweep
+group already builds its graph once (and compiles the engine's
+:class:`~repro.sim.engine.CompiledCore` arrays once — see
+:func:`repro.sim.runner.simulate_cell_group`), but groups that differ
+only in platform or simulation knobs describe the *same* DAG; the memo
+lets them share it instead of re-assembling tens of thousands of ops.
+Consumers treat memoized graphs as immutable — the engine never writes
+to a ClusterGraph, and callers that want to mutate one must build it
+directly via their backend's ``build_graph``.
 """
 
 from __future__ import annotations
@@ -25,6 +36,11 @@ from typing import Callable
 #: Most entries a wizard memo holds before evicting its oldest (a
 #: schedule is a few KB; sweeps touch far fewer distinct references).
 _MEMO_CAP = 256
+
+#: Most assembled cluster DAGs kept in-process. Graphs are large (tens of
+#: thousands of ops for deep models at scale), so the cap is small — the
+#: memo targets back-to-back groups of one sweep, not a session's history.
+_GRAPH_MEMO_CAP = 8
 
 
 @dataclass(frozen=True)
@@ -134,9 +150,40 @@ def backend_for_spec(spec) -> CommBackend:
     return backend
 
 
+_graph_memo: dict[tuple, object] = {}
+
+
 def build_comm_graph(ir, spec, **kwargs):
-    """Assemble the cluster DAG for ``spec``, whichever backend owns it."""
-    return backend_for_spec(spec).build_graph(ir, spec, **kwargs)
+    """Assemble the cluster DAG for ``spec``, whichever backend owns it.
+
+    Plain calls (no builder kwargs) are memoized per (model structural
+    fingerprint, spec): two sweep groups over the same DAG — e.g. one
+    cluster shape swept across platforms — share one assembled graph.
+    The returned graph must be treated as read-only; pass builder kwargs
+    (or call the backend's ``build_graph`` directly) to get a private,
+    mutable instance.
+    """
+    backend = backend_for_spec(spec)
+    if kwargs:
+        return backend.build_graph(ir, spec, **kwargs)
+    key = (ir.structural_fingerprint(), spec)
+    graph = _graph_memo.get(key)
+    if graph is None:
+        graph = backend.build_graph(ir, spec)
+        while len(_graph_memo) >= _GRAPH_MEMO_CAP:
+            _graph_memo.pop(next(iter(_graph_memo)))
+        _graph_memo[key] = graph
+    return graph
+
+
+def graph_memo_size() -> int:
+    """Assembled graphs currently memoized (diagnostics/tests)."""
+    return len(_graph_memo)
+
+
+def clear_graph_memo() -> None:
+    """Drop all memoized cluster graphs (tests)."""
+    _graph_memo.clear()
 
 
 # ----------------------------------------------------------------------

@@ -41,8 +41,8 @@ def count_unique_orders(model: str, iterations: int, seed: int = 0) -> int:
     recvs = cluster.param_recvs["worker:0"]
     op_ids = np.array(list(recvs.values()))
     seen: set[tuple] = set()
-    for i in range(iterations):
-        record = sim.run_iteration(i)
+    # stream the 1000-iteration protocol (slabbed batch setup inside)
+    for record in sim.iter_iterations(0, iterations):
         order = tuple(np.argsort(record.start[op_ids], kind="stable").tolist())
         seen.add(order)
     return len(seen)

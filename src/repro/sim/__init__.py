@@ -1,7 +1,13 @@
 """Discrete-event simulation of Model-Replica + PS clusters."""
 
 from .config import COMPUTE_QUEUE_POLICIES, ENFORCEMENT_MODES, SimConfig
-from .engine import CompiledSimulation, IterationRecord
+from .engine import (
+    ENGINE_REV,
+    CompiledCore,
+    CompiledSimulation,
+    IterationRecord,
+    SimVariant,
+)
 from .metrics import IterationResult, SimulationResult, summarize_iteration
 from .pipeline import PipelinedResult, simulate_pipelined
 from .runner import (
@@ -15,8 +21,11 @@ from .runner import (
 __all__ = [
     "COMPUTE_QUEUE_POLICIES",
     "ENFORCEMENT_MODES",
+    "ENGINE_REV",
     "SimConfig",
+    "CompiledCore",
     "CompiledSimulation",
+    "SimVariant",
     "IterationRecord",
     "IterationResult",
     "SimulationResult",

@@ -109,5 +109,11 @@ class SimConfig:
             if self.iterations <= 0 or self.warmup < 0:
                 raise ValueError("iterations must be > 0 and warmup >= 0")
 
+    @property
+    def total_iterations(self) -> int:
+        """Warm-up plus recorded iterations — the count one simulated run
+        executes (the batch handed to ``SimVariant.run_iterations``)."""
+        return self.warmup + self.iterations
+
     def with_(self, **changes) -> "SimConfig":
         return replace(self, **changes)

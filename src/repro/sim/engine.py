@@ -24,11 +24,35 @@ priorities at the channel queue; ``none`` ignores priorities.
 
 The engine is deterministic given (cluster, platform, schedule, config,
 iteration index).
+
+**Compile-once / run-many split.** Compilation is two-tier:
+
+* :class:`CompiledCore` lowers ``(cluster, platform)`` to immutable flat
+  arrays — the dependency CSR, resource/capacity tables, per-transfer
+  integer *channel ids* (one id per directional (egress, ingress) NIC
+  pair), oracle durations, and the per-(link, iteration) parameter-group
+  structure the §5.1 counters operate on. It is independent of any
+  :class:`~repro.core.schedules.Schedule` or :class:`SimConfig`, so one
+  core serves every algorithm/config variant of a cell group.
+* :class:`SimVariant` binds a core to one ``(schedule, config)`` pair:
+  dense gate/priority arrays, slowdown-scaled durations, jitter sigma.
+  Variant compilation touches only O(n) array fills — no graph traversal.
+
+:class:`CompiledSimulation` is the historical one-shot facade (compile a
+private core and bind one variant). The hot loop itself is array-native:
+flat per-channel queues with head/tail cursors instead of ``list.pop(0)``,
+eligible-set bookkeeping that avoids rescanning ready queues, and a
+:meth:`SimVariant.run_iterations` batch API that amortizes per-iteration
+setup (jitter factors for a whole batch are drawn as one matrix). The
+rewrite is bit-exact: the RNG stream per ``(seed, iteration)`` and every
+floating-point operation order are preserved from the reference
+implementation (see ``tests/sim/test_engine_golden.py``).
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Optional
 
@@ -39,6 +63,12 @@ from ..graph import OpKind, ResourceKind
 from ..ps.cluster import ClusterGraph
 from ..timing import Platform
 from .config import SimConfig
+
+#: Revision of the engine's compiled-array layout / numerical contract.
+#: Folded into the sweep cache key (see :mod:`repro.sweep.fingerprint`):
+#: bump it whenever the engine's numbers are *intended* to change, so
+#: cached cells simulated by an older engine can never be served as hits.
+ENGINE_REV = 2
 
 # Event codes (heap entries are (time, seq, code, op_id)).
 _COMPUTE_DONE = 0
@@ -61,27 +91,33 @@ class IterationRecord:
     out_of_order_handoffs: int = 0
 
 
-class CompiledSimulation:
-    """A cluster graph compiled to flat arrays, executable per iteration.
+def _find_activation(g, transfer_op_id: int) -> Optional[int]:
+    """The PS-side send-activation op feeding a param transfer (§5.1's
+    hand-off point), or ``None`` when the graph has no such op."""
+    for pred in g.predecessors(transfer_op_id):
+        if pred.kind is OpKind.SEND and pred.attrs.get("activation_only"):
+            return pred.op_id
+    return None
+
+
+class CompiledCore:
+    """``(cluster, platform)`` lowered to immutable flat arrays.
 
     ``cluster`` is either a PS :class:`~repro.ps.cluster.ClusterGraph` or a
     collective :class:`~repro.collectives.CollectiveGraph` — the engine
     only consumes their shared surface (``graph``, ``transfers_by_link``,
     ``worker_ops``) plus, for collective graphs, the chunk metadata that
     lowers schedule priorities onto chunk transfer ops.
+
+    Everything here is independent of :class:`Schedule` and
+    :class:`SimConfig`; bind those with :class:`SimVariant`. The arrays are
+    treated as frozen — variants and iterations never mutate them — so one
+    core can back any number of variants.
     """
 
-    def __init__(
-        self,
-        cluster: ClusterGraph,
-        platform: Platform,
-        schedule: Optional[Schedule] = None,
-        config: Optional[SimConfig] = None,
-    ) -> None:
+    def __init__(self, cluster: ClusterGraph, platform: Platform) -> None:
         self.cluster = cluster
         self.platform = platform
-        self.schedule = schedule if schedule is not None else Schedule("baseline")
-        self.config = config or SimConfig()
         g = cluster.graph
         n = self.n = len(g)
 
@@ -102,9 +138,10 @@ class CompiledSimulation:
         self.op_res = np.full(n, -1, dtype=np.int64)  # compute ops
         self.t_egress = np.full(n, -1, dtype=np.int64)
         self.t_ingress = np.full(n, -1, dtype=np.int64)
-        self.base_dur = np.zeros(n)
+        self.base_dur = np.zeros(n)  # raw platform times (no slowdown)
         self.wire_base = np.zeros(n)
         self.lat = np.zeros(n)
+        device_ops: dict[str, list[int]] = {}
         for op in g:
             if op.resource is None:
                 raise ValueError(f"op {op.name!r} has no resource tag")
@@ -118,23 +155,75 @@ class CompiledSimulation:
             else:
                 self.op_res[op.op_id] = self._rid(op.resource.name)
                 self.base_dur[op.op_id] = platform.op_time(op)
+                device_ops.setdefault(op.device, []).append(op.op_id)
         self.n_res = len(self._res_index)
-        #: per egress NIC, the ordered list of ingress NICs it talks to.
-        self._egress_channel_order: dict[int, list[int]] = {}
+        #: compute op ids per device (slowdown lowering; transfers excluded).
+        self.device_compute_ops = {
+            dev: np.array(ids, dtype=np.int64) for dev, ids in device_ops.items()
+        }
+
+        # --- wire channels ----------------------------------------------
+        # One integer channel id per directional (egress, ingress) NIC
+        # pair, numbered by first appearance in op-id order (replacing the
+        # (egress, ingress) tuple-keyed dicts of the reference engine).
+        # ``egress_ids``/``eg_chan_lists`` preserve the reference round-
+        # robin orders: egress NICs by first transfer, channels within an
+        # egress by first transfer on that pair.
+        chan_index: dict[tuple[int, int], int] = {}
+        self.t_chan = np.full(n, -1, dtype=np.int64)
+        chan_eid: list[int] = []
+        chan_iid: list[int] = []
+        self.egress_ids: list[int] = []
+        self.eg_chan_lists: list[list[int]] = []
+        eg_pos: dict[int, int] = {}
+        chan_sizes: list[int] = []
         for op_id in np.flatnonzero(self.is_transfer):
+            op_id = int(op_id)
             eid, iid = int(self.t_egress[op_id]), int(self.t_ingress[op_id])
-            chans = self._egress_channel_order.setdefault(eid, [])
-            if iid not in chans:
-                chans.append(iid)
-        self.chunk_wire = self.config.chunk_bytes / platform.bandwidth_bps
+            key = (eid, iid)
+            c = chan_index.get(key)
+            if c is None:
+                c = chan_index[key] = len(chan_index)
+                chan_eid.append(eid)
+                chan_iid.append(iid)
+                chan_sizes.append(0)
+                pos = eg_pos.get(eid)
+                if pos is None:
+                    pos = eg_pos[eid] = len(self.egress_ids)
+                    self.egress_ids.append(eid)
+                    self.eg_chan_lists.append([])
+                self.eg_chan_lists[pos].append(c)
+            self.t_chan[op_id] = c
+            chan_sizes[c] += 1
+        self.n_wire_channels = len(chan_index)
+        self.chan_eid = chan_eid
+        self.chan_iid = chan_iid
+        #: resource id -> position in ``egress_ids`` (-1 for non-egress).
+        self.eg_pos = [-1] * self.n_res
+        for eid, pos in eg_pos.items():
+            self.eg_pos[eid] = pos
+        #: flat per-channel queue layout: channel c owns slots
+        #: [q_base[c], q_base[c+1]) of a shared buffer (CSR over channels).
+        self.q_base = [0] * (self.n_wire_channels + 1)
+        for c, size in enumerate(chan_sizes):
+            self.q_base[c + 1] = self.q_base[c] + size
+        self.q_slots = self.q_base[-1]
+
         #: collective chunk transfers (reduce-scatter/all-gather steps);
         #: gated by priority rank at the channel queue, not by §5.1
         #: sender counters (there is no PS-side hand-off op to gate).
         self.is_chunk = np.zeros(n, dtype=bool)
+        chunk_op_ids: list[int] = []
+        chunk_param_names: list[str] = []
         for transfers in cluster.transfers_by_link.values():
             for t in transfers:
                 if t.kind == "chunk":
                     self.is_chunk[t.op_id] = True
+                    chunk_op_ids.append(t.op_id)
+                    chunk_param_names.append(t.param)
+        self.chunk_op_ids = chunk_op_ids
+        self.chunk_param_names = chunk_param_names
+
         #: concurrent-capacity per resource: compute engines run one op at
         #: a time; a NIC sustains platform.nic_slots(device) full-rate
         #: connections (PS NICs are fatter than worker NICs in envG).
@@ -144,29 +233,60 @@ class CompiledSimulation:
                 device = name.split(":", 1)[1]
                 self.capacity[rid] = platform.nic_slots(device)
 
-        # --- enforcement gates & priorities ----------------------------
-        self.handoff_gate: dict[int, tuple[int, int]] = {}  # activation op -> (ch, rank)
-        self.dag_gate: dict[int, tuple[int, int]] = {}  # transfer op -> (ch, rank)
-        self.prio: dict[int, int] = {}  # transfer op -> priority rank
-        self.n_channels = 0
-        if not self.schedule.is_empty and self.config.enforcement != "none":
-            self._compile_gates(g)
+        # --- §5.1 counter-channel structure -----------------------------
+        # One counter per (link, iteration) parameter group, in (sorted
+        # link name, sorted iteration) order — the reference gate-compile
+        # order. Schedules bind ranks onto these groups per variant.
+        # ``None`` activation ids are legal until a variant requests
+        # sender enforcement.
+        self.param_groups: list[tuple[tuple[str, ...], list[int], list[Optional[int]]]] = []
+        for _link, transfers in sorted(
+            cluster.transfers_by_link.items(), key=lambda kv: kv[0].name
+        ):
+            by_iteration: dict[int, list] = {}
+            for t in transfers:
+                if t.kind == "param":
+                    by_iteration.setdefault(t.iteration, []).append(t)
+            for k in sorted(by_iteration):
+                group = by_iteration[k]
+                self.param_groups.append(
+                    (
+                        tuple(t.param for t in group),
+                        [t.op_id for t in group],
+                        [_find_activation(g, t.op_id) for t in group],
+                    )
+                )
 
-        self._jitter_sigma = (
-            platform.jitter_sigma
-            if self.config.jitter_sigma is None
-            else self.config.jitter_sigma
-        )
+        # --- root ops (in-degree zero, ascending op id) ------------------
+        self.roots = [int(i) for i in np.flatnonzero(self.base_indeg == 0)]
 
-        # Static per-op slowdown multipliers (compute ops of slow devices).
-        self.slowdown = np.ones(n)
-        if self.config.device_slowdown:
-            factors = dict(self.config.device_slowdown)
-            for op in g:
-                f = factors.get(op.device)
-                if f is not None and not self.is_transfer[op.op_id]:
-                    self.slowdown[op.op_id] = f
-        self.base_dur = self.base_dur * self.slowdown
+        # --- resource_loads index arrays ---------------------------------
+        self.tr_ids = np.flatnonzero(self.is_transfer)
+        self.tr_eg = self.t_egress[self.tr_ids]
+        self.tr_in = self.t_ingress[self.tr_ids]
+        self.comp_ids = np.flatnonzero(~self.is_transfer)
+        self.comp_res = self.op_res[self.comp_ids]
+
+        # --- python-native mirrors for the event loop --------------------
+        # Scalar indexing of numpy arrays costs ~10x a list index in the
+        # interpreter; the hot loop reads these instead.
+        self.base_indeg_list = self.base_indeg.tolist()
+        self.succ_indptr_list = self.succ_indptr.tolist()
+        self.succ_indices_list = self.succ_indices.tolist()
+        #: per-op successor id lists (CSR unpacked once: the succ walk is
+        #: the single most-executed statement of the event loop).
+        self.succ_of = [
+            self.succ_indices_list[self.succ_indptr_list[i]:self.succ_indptr_list[i + 1]]
+            for i in range(n)
+        ]
+        self.is_transfer_list = self.is_transfer.tolist()
+        self.is_chunk_list = self.is_chunk.tolist()
+        self.op_res_list = self.op_res.tolist()
+        self.t_egress_list = self.t_egress.tolist()
+        self.t_ingress_list = self.t_ingress.tolist()
+        self.t_chan_list = self.t_chan.tolist()
+        self.lat_list = self.lat.tolist()
+        self.capacity_list = self.capacity.tolist()
 
     # ------------------------------------------------------------------
     def _rid(self, name: str) -> int:
@@ -179,292 +299,684 @@ class CompiledSimulation:
         """Resource names in id order (compute + NIC resources)."""
         return [name for name, _ in sorted(self._res_index.items(), key=lambda kv: kv[1])]
 
-    def _compile_gates(self, g) -> None:
+
+class SimVariant:
+    """One ``(schedule, config)`` binding of a :class:`CompiledCore`.
+
+    Holds everything schedule- or config-dependent: dense gate/priority
+    arrays, slowdown-scaled durations, the wire chunk quantum and jitter
+    sigma. Construction is O(n) array fills — the expensive graph
+    traversal lives in the shared core, so a sweep's variants (algorithms,
+    enforcement modes, seeds, iteration counts) compile in microseconds.
+
+    Each iteration is fully deterministic in ``(config.seed, iteration)``
+    and never mutates the core, so any number of variants can share one.
+    """
+
+    def __init__(
+        self,
+        core: CompiledCore,
+        schedule: Optional[Schedule] = None,
+        config: Optional[SimConfig] = None,
+    ) -> None:
+        self.core = core
+        self.schedule = schedule if schedule is not None else Schedule("baseline")
+        self.config = config or SimConfig()
+        n = core.n
+
+        self.chunk_wire = self.config.chunk_bytes / core.platform.bandwidth_bps
+
+        # --- enforcement gates & priorities ----------------------------
+        self.handoff_gate: dict[int, tuple[int, int]] = {}  # activation op -> (ch, rank)
+        self.dag_gate: dict[int, tuple[int, int]] = {}  # transfer op -> (ch, rank)
+        self.prio: dict[int, int] = {}  # transfer op -> priority rank
+        self.n_channels = 0
+        if not self.schedule.is_empty and self.config.enforcement != "none":
+            self._compile_gates()
+
+        # Dense mirrors of the gate dicts (-1 = ungated/unprioritized).
+        self._hg_ch = [-1] * n
+        self._hg_rank = [0] * n
+        for op, (ch, rank) in self.handoff_gate.items():
+            self._hg_ch[op] = ch
+            self._hg_rank[op] = rank
+        self._dg_ch = [-1] * n
+        self._dg_rank = [0] * n
+        for op, (ch, rank) in self.dag_gate.items():
+            self._dg_ch[op] = ch
+            self._dg_rank[op] = rank
+        self._prio_arr = [-1] * n
+        for op, rank in self.prio.items():
+            self._prio_arr[op] = rank
+
+        # Per counter-channel: the compute resource its activations queue
+        # on, its group size, and the reverse map resource -> channels.
+        # §5.1 eligibility ("rank == counter") is then O(channels-at-
+        # resource) instead of an O(queue) rescan per dispatch.
+        self._chan_res = [-1] * self.n_channels
+        self._chan_size = [0] * self.n_channels
+        self._res_channels: list[list[int]] = [[] for _ in range(core.n_res)]
+        if self.handoff_gate:
+            op_res = core.op_res_list
+            for op, (ch, rank) in self.handoff_gate.items():
+                rid = op_res[op]
+                if self._chan_res[ch] < 0:
+                    self._chan_res[ch] = rid
+                    self._res_channels[rid].append(ch)
+                elif self._chan_res[ch] != rid:  # pragma: no cover - §5.1 invariant
+                    raise ValueError(
+                        "send activations of one channel span multiple resources"
+                    )
+                if rank + 1 > self._chan_size[ch]:
+                    self._chan_size[ch] = rank + 1
+
+        self._jitter_sigma = (
+            core.platform.jitter_sigma
+            if self.config.jitter_sigma is None
+            else self.config.jitter_sigma
+        )
+
+        # Static per-op slowdown multipliers (compute ops of slow devices).
+        self.slowdown = np.ones(n)
+        for device, factor in self.config.device_slowdown:
+            ids = core.device_compute_ops.get(device)
+            if ids is not None:
+                self.slowdown[ids] = factor
+        self.base_dur = core.base_dur * self.slowdown
+
+        # Zero-jitter fast path: factors are exactly 1.0, so the jittered
+        # arrays equal the base arrays bit-for-bit — precompute once.
+        self._dur0 = self.base_dur.tolist()
+        self._wire0 = core.wire_base.tolist()
+        self._chunk0 = [self.chunk_wire] * n
+        self._dedicated0 = np.where(
+            core.is_transfer, core.wire_base + core.lat, self.base_dur
+        )
+
+        # Expected per-channel rank arrays for the out-of-order audit
+        # (satellite of ISSUE 3: compiled once, not re-sorted per recorded
+        # iteration). Empty when the audit is off (no schedule / 'none').
+        self._ooo_groups: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        if not self.schedule.is_empty and self.config.enforcement != "none":
+            for params, op_ids, _acts in core.param_groups:
+                ranks = self.schedule.normalized(list(params))
+                rank_arr = np.array([ranks[p] for p in params], dtype=np.int64)
+                ids = np.array(op_ids, dtype=np.int64)
+                self._ooo_groups.append(
+                    (ids, rank_arr, np.arange(len(op_ids), dtype=np.int64))
+                )
+
+    # -- delegated core surface ----------------------------------------
+    @property
+    def cluster(self) -> ClusterGraph:
+        return self.core.cluster
+
+    @property
+    def platform(self) -> Platform:
+        return self.core.platform
+
+    @property
+    def n(self) -> int:
+        return self.core.n
+
+    @property
+    def n_res(self) -> int:
+        return self.core.n_res
+
+    @property
+    def is_transfer(self) -> np.ndarray:
+        return self.core.is_transfer
+
+    @property
+    def is_chunk(self) -> np.ndarray:
+        return self.core.is_chunk
+
+    @property
+    def op_res(self) -> np.ndarray:
+        return self.core.op_res
+
+    @property
+    def t_egress(self) -> np.ndarray:
+        return self.core.t_egress
+
+    @property
+    def t_ingress(self) -> np.ndarray:
+        return self.core.t_ingress
+
+    @property
+    def wire_base(self) -> np.ndarray:
+        return self.core.wire_base
+
+    @property
+    def lat(self) -> np.ndarray:
+        return self.core.lat
+
+    @property
+    def capacity(self) -> np.ndarray:
+        return self.core.capacity
+
+    @property
+    def base_indeg(self) -> np.ndarray:
+        return self.core.base_indeg
+
+    @property
+    def succ_indptr(self) -> np.ndarray:
+        return self.core.succ_indptr
+
+    @property
+    def succ_indices(self) -> np.ndarray:
+        return self.core.succ_indices
+
+    def resource_names(self) -> list[str]:
+        return self.core.resource_names()
+
+    # ------------------------------------------------------------------
+    def _compile_gates(self) -> None:
+        core = self.core
         mode = self.config.enforcement
         # Collective chunk transfers: lower the per-parameter schedule
         # onto chunk ranks once, globally (prio comparisons only ever
         # happen within one channel queue, so global dense ranks serve).
-        if self.is_chunk.any() and self.config.chunk_queue == "priority":
+        if core.chunk_op_ids and self.config.chunk_queue == "priority":
             ranks = chunk_ranks(
                 self.schedule,
-                self.cluster.chunk_params,
-                self.cluster.chunk_order,
+                core.cluster.chunk_params,
+                core.cluster.chunk_order,
             )
-            for transfers in self.cluster.transfers_by_link.values():
-                for t in transfers:
-                    if t.kind == "chunk":
-                        self.prio[t.op_id] = ranks[t.param]
-        for link, transfers in sorted(
-            self.cluster.transfers_by_link.items(), key=lambda kv: kv[0].name
-        ):
-            # One §5.1 counter per (channel, iteration): unrolled windows
-            # restart the count every iteration, exactly as deployed.
-            by_iteration: dict[int, list] = {}
-            for t in transfers:
-                if t.kind == "param":
-                    by_iteration.setdefault(t.iteration, []).append(t)
-            for k in sorted(by_iteration):
-                group = by_iteration[k]
-                by_param = {t.param: t for t in group}
-                ranks = self.schedule.normalized([t.param for t in group])
-                ch = self.n_channels
-                self.n_channels += 1
-                for param, rank in ranks.items():
-                    op_id = by_param[param].op_id
-                    if mode == "ready_queue":
-                        self.prio[op_id] = rank
-                    elif mode == "dag":
-                        self.dag_gate[op_id] = (ch, rank)
-                    else:  # sender
-                        activation = self._find_activation(g, op_id)
-                        self.handoff_gate[activation] = (ch, rank)
-
-    @staticmethod
-    def _find_activation(g, transfer_op_id: int) -> int:
-        """The PS-side send-activation op feeding a param transfer (§5.1's
-        hand-off point)."""
-        for pred in g.predecessors(transfer_op_id):
-            if pred.kind is OpKind.SEND and pred.attrs.get("activation_only"):
-                return pred.op_id
-        raise ValueError(
-            f"param transfer {g.op(transfer_op_id).name!r} has no send activation"
-        )
+            for op_id, param in zip(core.chunk_op_ids, core.chunk_param_names):
+                self.prio[op_id] = ranks[param]
+        # One §5.1 counter per (channel, iteration): unrolled windows
+        # restart the count every iteration, exactly as deployed.
+        for ch, (params, op_ids, acts) in enumerate(core.param_groups):
+            ranks = self.schedule.normalized(list(params))
+            for param, op_id, act in zip(params, op_ids, acts):
+                rank = ranks[param]
+                if mode == "ready_queue":
+                    self.prio[op_id] = rank
+                elif mode == "dag":
+                    self.dag_gate[op_id] = (ch, rank)
+                else:  # sender
+                    if act is None:
+                        name = core.cluster.graph.op(op_id).name
+                        raise ValueError(
+                            f"param transfer {name!r} has no send activation"
+                        )
+                    self.handoff_gate[act] = (ch, rank)
+        self.n_channels = len(core.param_groups)
 
     # ------------------------------------------------------------------
     def run_iteration(self, iteration: int = 0) -> IterationRecord:
         """Execute one iteration; deterministic in ``iteration`` and config."""
-        cfg = self.config
-        rng = np.random.default_rng(np.random.SeedSequence((cfg.seed, iteration)))
-        n = self.n
-        if self._jitter_sigma > 0:
-            factors = rng.lognormal(0.0, self._jitter_sigma, n)
-        else:
-            factors = np.ones(n)
-        dur = self.base_dur * factors
-        wire = self.wire_base * factors
-        chunk_of = self.chunk_wire * factors  # per-transfer jittered chunk time
-        dedicated = np.where(self.is_transfer, wire + self.lat, dur)
+        return self.run_iterations(iteration, 1)[0]
 
-        indeg = self.base_indeg.copy()
-        start = np.full(n, np.nan)
-        end = np.full(n, np.nan)
-        active = np.zeros(self.n_res, dtype=np.int64)
-        cap = self.capacity
-        cqueues: list[list[int]] = [[] for _ in range(self.n_res)]  # compute queues
-        # per (egress, ingress) channel: FIFO of handed-off transfers and a
-        # flag marking a chunk currently on the wire (a gRPC channel is one
-        # TCP connection: its chunks serialize at the connection rate).
-        chq: dict[tuple[int, int], list[int]] = {}
-        ch_busy: dict[tuple[int, int], bool] = {}
-        rr_ptr: dict[int, int] = {eid: 0 for eid in self._egress_channel_order}
-        rem_wire = wire.copy()  # outstanding wire seconds per transfer
-        started = np.zeros(n, dtype=bool)
+    #: iterations whose batched setup (RNG matrices) is drawn at once.
+    #: Bounds the working set of :meth:`iter_iterations` to O(_SLAB x n)
+    #: regardless of the requested count (1000-iteration protocols would
+    #: otherwise stage ~5 full (count, n) float64 matrices).
+    _SLAB = 64
+
+    def run_iterations(self, first: int = 0, count: int = 1) -> list[IterationRecord]:
+        """Execute ``count`` consecutive iterations starting at ``first``.
+
+        Materializes every record; prefer :meth:`iter_iterations` when the
+        records are summarized and discarded one at a time."""
+        return list(self.iter_iterations(first, count))
+
+    def iter_iterations(self, first: int = 0, count: int = 1):
+        """Yield ``count`` consecutive iteration records lazily.
+
+        The batch API amortizes per-iteration setup: RNG construction
+        happens up front per slab and the jitter factors are drawn as one
+        ``(slab, n)`` matrix (one row per iteration's own generator, so
+        each iteration's RNG stream is identical to a standalone
+        :meth:`run_iteration` call — results are bit-equal either way).
+        """
+        cfg = self.config
+        core = self.core
+        n = core.n
+        sigma = self._jitter_sigma
+        for lo in range(0, max(count, 0), self._SLAB):
+            slab = min(self._SLAB, count - lo)
+            rngs = [
+                np.random.default_rng(
+                    np.random.SeedSequence((cfg.seed, first + lo + i))
+                )
+                for i in range(slab)
+            ]
+            if sigma > 0:
+                factors = np.empty((slab, n))
+                for i, rng in enumerate(rngs):
+                    factors[i] = rng.lognormal(0.0, sigma, n)
+                durs = self.base_dur * factors
+                wires = core.wire_base * factors
+                chunks = self.chunk_wire * factors
+                dedicated = np.where(core.is_transfer, wires + core.lat, durs)
+                for i in range(slab):
+                    # the dedicated row is copied so a surviving record
+                    # does not pin the whole slab matrix alive
+                    yield self._execute(
+                        rngs[i],
+                        durs[i].tolist(),
+                        wires[i].tolist(),
+                        chunks[i].tolist(),
+                        dedicated[i].copy(),
+                    )
+            else:
+                for rng in rngs:
+                    yield self._execute(
+                        rng, self._dur0, self._wire0, self._chunk0,
+                        self._dedicated0.copy(),
+                    )
+
+    # ------------------------------------------------------------------
+    def _execute(self, rng, dur, wire, chunk_of, dedicated) -> IterationRecord:
+        """The event loop. ``dur``/``wire``/``chunk_of`` are plain-python
+        float lists (read-only); ``dedicated`` is the record's array."""
+        core = self.core
+        cfg = self.config
+        n = core.n
+        nan = float("nan")
+
+        # -- per-iteration state (flat, preallocated) -------------------
+        indeg = core.base_indeg_list.copy()
+        start = [nan] * n
+        end = [nan] * n
+        active = [0] * core.n_res
+        cap = core.capacity_list
+        # compute ready queues: ungated ops in arrival order, plus (for
+        # resources hosting §5.1 counters) gated activations parked in
+        # per-channel rank slots and arrival stamps to reconstruct the
+        # queue order exactly.
+        plain: list[list[int]] = [[] for _ in range(core.n_res)]
+        pstamps: list[list[int]] = [[] for _ in range(core.n_res)]
+        gated_slots: list[list] = [[None] * size for size in self._chan_size]
+        res_channels = self._res_channels
+        # wire channels: flat queue buffer with head/tail cursors (a gRPC
+        # channel is one TCP connection: its chunks serialize at the
+        # connection rate; a busy flag marks a chunk on the wire).
+        qbuf = [0] * core.q_slots
+        q_base = core.q_base
+        q_head = [0] * core.n_wire_channels
+        q_tail = [0] * core.n_wire_channels
+        ch_busy = [False] * core.n_wire_channels
+        egress_ids = core.egress_ids
+        eg_chans = core.eg_chan_lists
+        n_eg = len(egress_ids)
+        rr_ptr = [0] * n_eg
+        rem_wire = list(wire)  # outstanding wire seconds per transfer
+        started = bytearray(n)
         ch_handoff = [0] * self.n_channels  # sender counters (§5.1)
         ch_complete = [0] * self.n_channels  # dag-mode completion counters
         fabric_cap = cfg.fabric_slots  # shared-fabric congestion (§7)
         fabric_active = 0
+        stamp = 0  # ready-arrival sequence (compute-queue order)
 
         heap: list[tuple[float, int, int, int]] = []
         seq = 0
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
-        def push(t: float, code: int, op: int) -> None:
-            nonlocal seq
-            heapq.heappush(heap, (t, seq, code, op))
-            seq += 1
-
+        # -- hot locals --------------------------------------------------
+        is_transfer = core.is_transfer_list
+        is_chunk = core.is_chunk_list
+        op_res = core.op_res_list
+        t_egress = core.t_egress_list
+        t_ingress = core.t_ingress_list
+        t_chan = core.t_chan_list
+        eg_pos = core.eg_pos
+        chan_iid = core.chan_iid
+        lat = core.lat_list
+        hg_ch = self._hg_ch
+        hg_rank = self._hg_rank
+        dg_ch = self._dg_ch
+        dg_rank = self._dg_rank
+        prio_arr = self._prio_arr
+        has_dag = bool(self.dag_gate)
+        has_prio = bool(self.prio)
         random_compute = cfg.compute_queue == "random"
         mode = cfg.enforcement
+        mode_rq = mode == "ready_queue"
+        mode_none = mode == "none"
+        mode_dag = mode == "dag"
         noise = cfg.grpc_reorder_prob if mode == "sender" else 0.0
+        rng_integers = rng.integers
+        rng_random = rng.random
+
+        has_handoff = bool(self.handoff_gate)
+        #: queued-transfer count per egress position: lets every event
+        #: skip the dispatch call for idle NICs (bit-safe: an empty-queue
+        #: dispatch consumes no RNG and changes no state).
+        eg_pending = [0] * n_eg
 
         # --- compute dispatch -------------------------------------------
-        def pick_compute(queue: list[int]) -> int:
-            if self.handoff_gate:
-                eligible = [
-                    k
-                    for k, op in enumerate(queue)
-                    if op not in self.handoff_gate
-                    or ch_handoff[self.handoff_gate[op][0]] == self.handoff_gate[op][1]
-                ]
+        # Semantics are the §3.1 rule over the *eligible* subset of the
+        # ready queue: every ungated op, plus — per §5.1 counter channel —
+        # the one activation whose rank equals the channel counter. The
+        # reference engine rescanned the whole queue per dispatch; here
+        # eligibility is assembled from the per-channel slots, and the
+        # random pick reproduces the reference draw exactly because the
+        # eligible count and its queue-order enumeration are identical.
+        def dispatch_compute_gated(rid: int, t: float) -> None:
+            nonlocal seq
+            if active[rid] >= cap[rid]:
+                return
+            plain_ops = plain[rid]
+            chans = res_channels[rid]
+            if chans:
+                stamps = pstamps[rid]
+                elig: list[tuple[int, int]] = []  # (stamp, channel)
+                for ch in chans:
+                    slots = gated_slots[ch]
+                    r = ch_handoff[ch]
+                    if r < len(slots):
+                        entry = slots[r]
+                        if entry is not None:
+                            elig.append((entry[0], ch))
+                n_plain = len(plain_ops)
+                n_gated = len(elig)
+                total = n_plain + n_gated
+                if total == 0:
+                    return
+                if random_compute and total > 1:
+                    m = rng_integers(total)
+                else:
+                    m = 0
+                if n_gated == 0:
+                    op = plain_ops.pop(m)
+                    del stamps[m]
+                else:
+                    if n_gated > 1:
+                        elig.sort()
+                    # m-th element of the stamp-ordered union of the plain
+                    # queue (sorted, indexable) and the eligible gated ops.
+                    op = -1
+                    for e in range(n_gated):
+                        st, ch = elig[e]
+                        pos = e + bisect_left(stamps, st)
+                        if pos == m:
+                            r = ch_handoff[ch]
+                            op = gated_slots[ch][r][1]
+                            gated_slots[ch][r] = None
+                            ch_handoff[ch] = r + 1
+                            break
+                        if pos > m:
+                            k = m - e
+                            op = plain_ops.pop(k)
+                            del stamps[k]
+                            break
+                    if op < 0:
+                        k = m - n_gated
+                        op = plain_ops.pop(k)
+                        del stamps[k]
             else:
-                eligible = list(range(len(queue)))
-            if not eligible:
-                return -1
-            if random_compute and len(eligible) > 1:
-                return eligible[rng.integers(len(eligible))]
-            return eligible[0]
-
-        def dispatch_compute(rid: int, t: float) -> None:
-            if active[rid] >= cap[rid] or not cqueues[rid]:
-                return
-            k = pick_compute(cqueues[rid])
-            if k < 0:
-                return
-            op = cqueues[rid].pop(k)
-            gate = self.handoff_gate.get(op)
-            if gate is not None:
-                ch_handoff[gate[0]] += 1
+                total = len(plain_ops)
+                if total == 0:
+                    return
+                if random_compute and total > 1:
+                    m = rng_integers(total)
+                else:
+                    m = 0
+                op = plain_ops.pop(m)
             active[rid] += 1
             start[op] = t
-            push(t + dur[op], _COMPUTE_DONE, op)
+            heappush(heap, (t + dur[op], seq, 0, op))
+            seq += 1
+
+        def dispatch_compute_plain(rid: int, t: float) -> None:
+            # no §5.1 gates anywhere: the whole queue is eligible.
+            nonlocal seq
+            plain_ops = plain[rid]
+            total = len(plain_ops)
+            if total == 0 or active[rid] >= cap[rid]:
+                return
+            if random_compute and total > 1:
+                op = plain_ops.pop(rng_integers(total))
+            else:
+                op = plain_ops.pop(0)
+            active[rid] += 1
+            start[op] = t
+            heappush(heap, (t + dur[op], seq, 0, op))
+            seq += 1
+
+        dispatch_compute = (
+            dispatch_compute_gated if has_handoff else dispatch_compute_plain
+        )
 
         # --- transfer dispatch (chunked, round-robin over channels) ------
-        def pick_head(queue: list[int]) -> int:
-            """Choose which queued transfer transmits next on a channel.
-
-            Returns an index into ``queue`` or -1 if the channel is gated.
-            Once a transfer has started it keeps the channel until done.
-            """
-            if started[queue[0]]:
-                return 0
-            if self.prio and (mode == "ready_queue" or self.is_chunk[queue[0]]):
-                # Priority pick: the idealized ready-queue semantics, and
-                # the gating for collective chunk streams under every
-                # enforcement mode but 'none' (see SimConfig.chunk_queue).
-                prios = [self.prio.get(op) for op in queue]
-                known = [p for p in prios if p is not None]
-                lowest = min(known) if known else None
-                cands = [k for k, p in enumerate(prios) if p is None or p == lowest]
-                return cands[rng.integers(len(cands))] if len(cands) > 1 else cands[0]
-            if mode == "none" and len(queue) > 1:
-                return int(rng.integers(len(queue)))
-            if mode == "dag" and self.dag_gate:
-                # Hand-offs are unordered in this mode; find the transfer
-                # whose DAG predecessor chain is satisfied.
-                for k, op in enumerate(queue):
-                    gate = self.dag_gate.get(op)
-                    if gate is None or ch_complete[gate[0]] == gate[1]:
-                        return k
-                return -1
-            return 0
-
-        def dispatch_egress(eid: int, t: float) -> None:
-            nonlocal fabric_active
-            chans = self._egress_channel_order.get(eid)
-            if not chans:
+        def dispatch_egress(pos: int, t: float) -> None:
+            nonlocal seq, fabric_active
+            if not eg_pending[pos]:
                 return
+            chans = eg_chans[pos]
+            eid = egress_ids[pos]
+            n_chans = len(chans)
             while active[eid] < cap[eid] and (
                 fabric_cap is None or fabric_active < fabric_cap
             ):
-                ptr = rr_ptr[eid]
+                ptr = rr_ptr[pos]
                 progressed = False
-                for step in range(len(chans)):
-                    iid = chans[(ptr + step) % len(chans)]
-                    key = (eid, iid)
-                    if active[iid] >= cap[iid] or ch_busy.get(key):
+                for step in range(n_chans):
+                    slot = ptr + step
+                    if slot >= n_chans:
+                        slot -= n_chans
+                    c = chans[slot]
+                    iid = chan_iid[c]
+                    if active[iid] >= cap[iid] or ch_busy[c]:
                         continue
-                    queue = chq.get(key)
-                    if not queue:
+                    h = q_head[c]
+                    tl = q_tail[c]
+                    if h == tl:
                         continue
-                    k = pick_head(queue)
-                    if k < 0:
-                        continue
+                    base = q_base[c]
+                    # -- pick_head: choose which queued transfer transmits
+                    # next on this channel. Once a transfer has started it
+                    # keeps the channel until its wire time is done.
+                    q0 = qbuf[base + h]
+                    if started[q0]:
+                        k = 0
+                    elif has_prio and (mode_rq or is_chunk[q0]):
+                        # Priority pick: the idealized ready-queue
+                        # semantics, and the gating for collective chunk
+                        # streams under every enforcement mode but 'none'
+                        # (see SimConfig.chunk_queue).
+                        prios = [prio_arr[qbuf[j]] for j in range(base + h, base + tl)]
+                        known = [p for p in prios if p >= 0]
+                        if known:
+                            lowest = min(known)
+                            cands = [
+                                i for i, p in enumerate(prios)
+                                if p < 0 or p == lowest
+                            ]
+                        else:
+                            cands = list(range(len(prios)))
+                        if len(cands) > 1:
+                            k = cands[rng_integers(len(cands))]
+                        else:
+                            k = cands[0]
+                    elif mode_none and tl - h > 1:
+                        k = int(rng_integers(tl - h))
+                    elif mode_dag and has_dag:
+                        # Hand-offs are unordered in this mode; find the
+                        # transfer whose DAG predecessor chain is satisfied.
+                        k = -1
+                        for i in range(tl - h):
+                            op2 = qbuf[base + h + i]
+                            c2 = dg_ch[op2]
+                            if c2 < 0 or ch_complete[c2] == dg_rank[op2]:
+                                k = i
+                                break
+                        if k < 0:
+                            continue
+                    else:
+                        k = 0
                     if k != 0:
-                        queue[0], queue[k] = queue[k], queue[0]
-                    op = queue[0]
+                        i1 = base + h
+                        i2 = i1 + k
+                        qbuf[i1], qbuf[i2] = qbuf[i2], qbuf[i1]
+                    op = qbuf[base + h]
                     if not started[op]:
-                        started[op] = True
+                        started[op] = 1
                         start[op] = t
-                    cdur = min(rem_wire[op], chunk_of[op])
-                    rem_wire[op] -= cdur
-                    if rem_wire[op] <= 1e-18:
-                        queue.pop(0)  # wire done; channel moves on (pipelining)
-                        push(t + cdur + self.lat[op], _TRANSFER_DONE, op)
+                    r = rem_wire[op]
+                    co = chunk_of[op]
+                    cdur = r if r < co else co
+                    r -= cdur
+                    rem_wire[op] = r
+                    if r <= 1e-18:
+                        q_head[c] = h + 1  # wire done; channel moves on
+                        eg_pending[pos] -= 1
+                        heappush(heap, (t + cdur + lat[op], seq, 1, op))
+                        seq += 1
                     active[eid] += 1
                     active[iid] += 1
                     fabric_active += 1
-                    ch_busy[key] = True
-                    push(t + cdur, _CHUNK_DONE, op)
-                    rr_ptr[eid] = ((ptr + step) % len(chans)) + 1
+                    ch_busy[c] = True
+                    heappush(heap, (t + cdur, seq, 2, op))
+                    seq += 1
+                    rr_ptr[pos] = slot + 1
                     progressed = True
                     break
                 if not progressed:
                     return
 
-        def all_egress_dispatch(t: float) -> None:
-            for eid in self._egress_channel_order:
-                dispatch_egress(eid, t)
-
         def make_ready(op: int, t: float) -> None:
-            if self.is_transfer[op]:
-                key = (int(self.t_egress[op]), int(self.t_ingress[op]))
-                q = chq.setdefault(key, [])
-                q.append(op)
+            # KEEP IN SYNC with the hand-inlined copy in the successor
+            # walk of the main loop below — the two must enqueue
+            # identically or root ops and successor ops would see
+            # different queue orders (the golden tests pin this).
+            nonlocal stamp
+            if is_transfer[op]:
+                c = t_chan[op]
+                base = q_base[c]
+                tl = q_tail[c]
+                qbuf[base + tl] = op
+                tl += 1
+                q_tail[c] = tl
                 # residual gRPC reordering: occasionally a hand-off slips
                 # one slot (the paper measured 0.4-0.5% of transfers).
-                if noise > 0 and len(q) >= 2 and rng.random() < noise:
-                    q[-1], q[-2] = q[-2], q[-1]
-                dispatch_egress(key[0], t)
+                if noise > 0 and tl - q_head[c] >= 2 and rng_random() < noise:
+                    i1 = base + tl - 1
+                    i2 = i1 - 1
+                    qbuf[i1], qbuf[i2] = qbuf[i2], qbuf[i1]
+                pos = eg_pos[t_egress[op]]
+                eg_pending[pos] += 1
+                dispatch_egress(pos, t)
             else:
-                rid = self.op_res[op]
-                cqueues[rid].append(op)
+                rid = op_res[op]
+                ch = hg_ch[op]
+                if ch >= 0:
+                    gated_slots[ch][hg_rank[op]] = (stamp, op)
+                    stamp += 1
+                elif res_channels[rid]:
+                    plain[rid].append(op)
+                    pstamps[rid].append(stamp)
+                    stamp += 1
+                else:
+                    # stamps order the merged gated/plain eligibility
+                    # pick; resources with no §5.1 channels never merge,
+                    # so their arrivals skip the counter entirely.
+                    plain[rid].append(op)
                 dispatch_compute(rid, t)
 
         # --- initialization -----------------------------------------------
-        for op in np.flatnonzero(self.base_indeg == 0):
-            make_ready(int(op), 0.0)
+        for op in core.roots:
+            make_ready(op, 0.0)
 
         # --- main loop -----------------------------------------------------
-        succ_indptr, succ_indices = self.succ_indptr, self.succ_indices
+        # The successor walk inlines make_ready: it runs once per DAG edge
+        # and dominates the loop, so the call overhead is worth folding.
+        succ_of = core.succ_of
         while heap:
-            t, _, code, op = heapq.heappop(heap)
-            if code == _CHUNK_DONE:
-                eid, iid = int(self.t_egress[op]), int(self.t_ingress[op])
+            t, _s, code, op = heappop(heap)
+            if code == 2:  # chunk done
+                eid = t_egress[op]
+                iid = t_ingress[op]
                 active[eid] -= 1
                 active[iid] -= 1
                 fabric_active -= 1
-                ch_busy[(eid, iid)] = False
-                dispatch_egress(eid, t)
+                ch_busy[t_chan[op]] = False
+                pos = eg_pos[eid]
+                dispatch_egress(pos, t)
                 # the freed ingress (or fabric slot) may unblock transfers
                 # queued at other NICs
                 if active[iid] < cap[iid] or fabric_cap is not None:
-                    for other in self._egress_channel_order:
-                        if other != eid:
+                    for other in range(n_eg):
+                        if other != pos and eg_pending[other]:
                             dispatch_egress(other, t)
                 continue
             end[op] = t
-            if code == _COMPUTE_DONE:
-                rid = self.op_res[op]
+            if code == 0:  # compute done
+                rid = op_res[op]
                 active[rid] -= 1
-                dispatch_compute(rid, t)
-            else:  # _TRANSFER_DONE
-                gate_info = self.dag_gate.get(op)
-                if gate_info is not None:
-                    ch_complete[gate_info[0]] += 1
-                    all_egress_dispatch(t)  # dag gates may have opened
-            for j in range(succ_indptr[op], succ_indptr[op + 1]):
-                s = int(succ_indices[j])
-                indeg[s] -= 1
-                if indeg[s] == 0:
-                    make_ready(s, t)
+                if plain[rid] or res_channels[rid]:
+                    dispatch_compute(rid, t)
+            else:  # transfer done
+                if has_dag:
+                    c = dg_ch[op]
+                    if c >= 0:
+                        ch_complete[c] += 1
+                        for pos in range(n_eg):  # dag gates may have opened
+                            if eg_pending[pos]:
+                                dispatch_egress(pos, t)
+            for s in succ_of[op]:
+                d = indeg[s] - 1
+                indeg[s] = d
+                if d == 0:
+                    # KEEP IN SYNC with make_ready above (hand-inlined:
+                    # this block runs once per op and the call overhead
+                    # is measurable; any edit must land in both copies).
+                    if is_transfer[s]:
+                        c = t_chan[s]
+                        base = q_base[c]
+                        tl = q_tail[c]
+                        qbuf[base + tl] = s
+                        tl += 1
+                        q_tail[c] = tl
+                        if noise > 0 and tl - q_head[c] >= 2 and rng_random() < noise:
+                            i1 = base + tl - 1
+                            i2 = i1 - 1
+                            qbuf[i1], qbuf[i2] = qbuf[i2], qbuf[i1]
+                        pos = eg_pos[t_egress[s]]
+                        eg_pending[pos] += 1
+                        dispatch_egress(pos, t)
+                    else:
+                        rid = op_res[s]
+                        ch = hg_ch[s]
+                        if ch >= 0:
+                            gated_slots[ch][hg_rank[s]] = (stamp, s)
+                            stamp += 1
+                        elif res_channels[rid]:
+                            plain[rid].append(s)
+                            pstamps[rid].append(stamp)
+                            stamp += 1
+                        else:
+                            plain[rid].append(s)
+                        dispatch_compute(rid, t)
 
-        if np.isnan(end).any():  # pragma: no cover - would indicate a bug
-            stuck = int(np.isnan(end).sum())
+        end_arr = np.array(end)
+        if np.isnan(end_arr).any():  # pragma: no cover - would indicate a bug
+            stuck = int(np.isnan(end_arr).sum())
             raise RuntimeError(f"simulation deadlock: {stuck} ops never ran")
+        start_arr = np.array(start)
         return IterationRecord(
-            makespan=float(np.nanmax(end)),
-            start=start,
-            end=end,
+            makespan=float(np.nanmax(end_arr)),
+            start=start_arr,
+            end=end_arr,
             dedicated=dedicated,
-            out_of_order_handoffs=self._count_out_of_order(start),
+            out_of_order_handoffs=self._count_out_of_order(start_arr),
         )
 
     # ------------------------------------------------------------------
     def _count_out_of_order(self, start: np.ndarray) -> int:
-        """Param transfers that hit the wire out of priority order."""
-        if self.schedule.is_empty or self.config.enforcement == "none":
-            return 0
+        """Param transfers that hit the wire out of priority order.
+
+        Uses the rank arrays compiled at variant construction: per §5.1
+        channel, a stable argsort of the wire start times against the
+        expected dense ranks (no per-iteration re-normalization)."""
         count = 0
-        for link, transfers in self.cluster.transfers_by_link.items():
-            by_iteration: dict[int, list] = {}
-            for t in transfers:
-                if t.kind == "param":
-                    by_iteration.setdefault(t.iteration, []).append(t)
-            for group in by_iteration.values():
-                ranks = self.schedule.normalized([t.param for t in group])
-                ordered = sorted(group, key=lambda t: start[t.op_id])
-                for pos, t in enumerate(ordered):
-                    if ranks[t.param] != pos:
-                        count += 1
+        for op_ids, ranks, arange in self._ooo_groups:
+            order = np.argsort(start[op_ids], kind="stable")
+            count += int(np.count_nonzero(ranks[order] != arange))
         return count
 
     # ------------------------------------------------------------------
@@ -473,20 +985,39 @@ class CompiledSimulation:
         compute loads plus per-NIC wire loads (a transfer loads both its
         egress and its ingress NIC; multi-slot NICs divide their load by
         their slot count). This is Eq. 2's inner sum under the simulator's
-        true resource model."""
-        names = self.resource_names()
-        loads = np.zeros(self.n_res)
-        wire_actual = record.dedicated - self.lat  # wire component
-        for op_id in range(self.n):
-            if self.is_transfer[op_id]:
-                loads[self.t_egress[op_id]] += wire_actual[op_id]
-                loads[self.t_ingress[op_id]] += wire_actual[op_id]
-            else:
-                loads[self.op_res[op_id]] += record.end[op_id] - record.start[op_id]
-        loads /= self.capacity
-        out = dict(zip(names, loads.tolist()))
+        true resource model, accumulated with ``np.add.at`` over the
+        core's precomputed resource-id arrays."""
+        core = self.core
+        loads = np.zeros(core.n_res)
+        wire_actual = record.dedicated - core.lat  # wire component
+        w = wire_actual[core.tr_ids]
+        np.add.at(loads, core.tr_eg, w)
+        np.add.at(loads, core.tr_in, w)
+        np.add.at(
+            loads,
+            core.comp_res,
+            record.end[core.comp_ids] - record.start[core.comp_ids],
+        )
+        loads /= core.capacity
+        out = dict(zip(core.resource_names(), loads.tolist()))
         if self.config.fabric_slots is not None:
             out["fabric"] = float(
-                wire_actual[self.is_transfer].sum() / self.config.fabric_slots
+                wire_actual[core.is_transfer].sum() / self.config.fabric_slots
             )
         return out
+
+
+class CompiledSimulation(SimVariant):
+    """One-shot facade: compile a private :class:`CompiledCore` and bind a
+    single variant. Sweeps should compile the core once and bind
+    :class:`SimVariant` per ``(schedule, config)`` instead — see
+    :func:`repro.sim.runner.simulate_cell_group`."""
+
+    def __init__(
+        self,
+        cluster: ClusterGraph,
+        platform: Platform,
+        schedule: Optional[Schedule] = None,
+        config: Optional[SimConfig] = None,
+    ) -> None:
+        super().__init__(CompiledCore(cluster, platform), schedule, config)

@@ -21,7 +21,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.efficiency import EfficiencyReport
-from .engine import CompiledSimulation, IterationRecord
+from .engine import IterationRecord, SimVariant
 
 
 @dataclass
@@ -125,7 +125,7 @@ class SimulationResult:
 
 
 def summarize_iteration(
-    sim: CompiledSimulation,
+    sim: SimVariant,
     record: IterationRecord,
     *,
     keep_op_times: bool = False,

@@ -86,8 +86,7 @@ def simulate_pipelined(
     result = PipelinedResult(
         model=ir.name, algorithm=schedule.algorithm, window=window
     )
-    for i in range(cfg.iterations):
-        record = sim.run_iteration(i)
+    for record in sim.iter_iterations(0, cfg.iterations):
         finishes = np.array(
             [
                 record.end[np.asarray(cluster.iteration_ops[k])].max()

@@ -18,7 +18,7 @@ from ..models.ir import ModelIR
 from ..ps.cluster import ClusterGraph, ClusterSpec
 from ..timing import Platform, get_platform
 from .config import SimConfig
-from .engine import CompiledSimulation
+from .engine import CompiledCore, SimVariant
 from .metrics import SimulationResult, summarize_iteration
 
 
@@ -51,20 +51,24 @@ def simulate_cluster(
     config: Optional[SimConfig] = None,
     batch_factor: float = 1.0,
     cluster: Optional[ClusterGraph] = None,
+    core: Optional[CompiledCore] = None,
 ) -> SimulationResult:
     """Simulate ``config.iterations`` iterations of one configuration.
 
     Either pass a precomputed ``schedule`` or an ``algorithm`` name for the
     wizard ('baseline', 'tic', 'tac', 'tic_plus', 'random', 'layerwise',
-    'reverse_layerwise'). ``cluster`` short-circuits graph assembly when
-    sweeping algorithms over one configuration. ``spec`` selects the
-    communication backend by type: a PS
+    'reverse_layerwise'). ``cluster`` short-circuits graph assembly and
+    ``core`` short-circuits array compilation when sweeping algorithms
+    over one configuration (see :func:`simulate_cell_group`). ``spec``
+    selects the communication backend by type: a PS
     :class:`~repro.ps.cluster.ClusterSpec` or a collective
     :class:`~repro.collectives.CollectiveSpec`.
     """
     plat = get_platform(platform) if isinstance(platform, str) else platform
     cfg = config or SimConfig()
     ir = model if isinstance(model, ModelIR) else build_model(model, batch_factor=batch_factor)
+    if core is not None and cluster is None:
+        cluster = core.cluster
     if cluster is None:
         cluster = build_comm_graph(ir, spec)
     elif cluster.spec != spec:
@@ -75,7 +79,11 @@ def simulate_cluster(
         else:
             schedule = prepare_schedule(ir, spec, algorithm, plat, seed=cfg.seed)
 
-    sim = CompiledSimulation(cluster, plat, schedule, cfg)
+    if core is None:
+        core = CompiledCore(cluster, plat)
+    elif core.cluster is not cluster or core.platform != plat:
+        raise ValueError("provided core was compiled for a different cluster/platform")
+    sim = SimVariant(core, schedule, cfg)
     result = SimulationResult(
         model=ir.name,
         batch_size=ir.batch_size,
@@ -86,8 +94,9 @@ def simulate_cluster(
         platform=plat.name,
         n_params=ir.n_param_tensors,
     )
-    for i in range(cfg.warmup + cfg.iterations):
-        record = sim.run_iteration(i)
+    # iter_iterations streams records (slabbed batch setup inside): each
+    # is summarized and dropped, so 1000-iteration protocols stay O(n).
+    for i, record in enumerate(sim.iter_iterations(0, cfg.total_iterations)):
         summary = summarize_iteration(sim, record, keep_op_times=cfg.keep_op_times)
         (result.warmup if i < cfg.warmup else result.iterations).append(summary)
     return result
@@ -101,21 +110,25 @@ def simulate_cell_group(
     platform: Union[str, Platform] = "envG",
     batch_factor: float = 1.0,
 ) -> list[SimulationResult]:
-    """Compile once, simulate many: build the model IR and cluster graph a
-    single time and run every ``(algorithm, config)`` variant against the
-    shared :class:`ClusterGraph`. This is the sweep runner's unit of work —
-    a grid's algorithms and iteration counts differ only in ``Schedule``
-    and ``SimConfig``, so recompiling per cell (as the seed's serial loops
-    did) is pure waste. Each variant is still fully deterministic in its
-    own config: the engine seeds from ``(config.seed, iteration)`` and
-    never mutates the cluster graph, so results are identical to separate
-    one-shot :func:`simulate_cluster` calls."""
+    """Compile once, simulate many: build the model IR, the cluster graph
+    AND the engine's :class:`~repro.sim.engine.CompiledCore` arrays a
+    single time, then bind a lightweight
+    :class:`~repro.sim.engine.SimVariant` per ``(algorithm, config)``
+    variant. This is the sweep runner's unit of work — a grid's algorithms
+    and iteration counts differ only in ``Schedule`` and ``SimConfig``, so
+    recompiling the dependency CSR/resource/channel arrays per cell (as
+    earlier revisions did) is pure waste. Each variant is still fully
+    deterministic in its own config: the engine seeds from
+    ``(config.seed, iteration)`` and never mutates the core or the cluster
+    graph, so results are identical to separate one-shot
+    :func:`simulate_cluster` calls."""
     plat = get_platform(platform) if isinstance(platform, str) else platform
     ir = model if isinstance(model, ModelIR) else build_model(model, batch_factor=batch_factor)
     cluster = build_comm_graph(ir, spec)
+    core = CompiledCore(cluster, plat)
     return [
         simulate_cluster(ir, spec, algorithm=algorithm, platform=plat,
-                         config=config, cluster=cluster)
+                         config=config, cluster=cluster, core=core)
         for algorithm, config in variants
     ]
 

@@ -48,9 +48,19 @@ def _iter_sources(root: str) -> list[tuple[str, str]]:
 
 @lru_cache(maxsize=1)
 def code_fingerprint() -> str:
-    """Stable hash of all simulation-relevant source in this checkout."""
+    """Stable hash of all simulation-relevant source in this checkout.
+
+    The engine's compiled-array layout revision
+    (:data:`repro.sim.engine.ENGINE_REV`) is folded in explicitly: the
+    source hash already changes with any engine edit, but the revision
+    constant guards the semantic contract — entries cached by an engine
+    with a different numerical contract can never be served, even across
+    refactors that move the source out of the hashed tree."""
+    from ..sim.engine import ENGINE_REV
+
     digest = hashlib.sha256()
     digest.update(f"format:{CACHE_FORMAT}".encode())
+    digest.update(f"engine_rev:{ENGINE_REV}".encode())
     root = _package_root()
     for package in SIM_PACKAGES:
         for rel, path in _iter_sources(os.path.join(root, package)):

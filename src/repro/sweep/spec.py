@@ -70,9 +70,15 @@ class SimCell:
         # The spec's class name is part of the key: multiple backend spec
         # types share this cache keyspace, and two specs of different
         # backends must never collide even if their field dicts coincide.
+        # The engine revision pins the compiled-array layout that produced
+        # a cached cell, so results simulated by a pre-refactor engine can
+        # never be served as hits (also folded into code_fingerprint).
+        from ..sim.engine import ENGINE_REV
+
         return {
             "kind": "sim_cell",
             "spec_type": type(self.spec).__name__,
+            "engine_rev": ENGINE_REV,
             "cell": asdict(self),
         }
 
