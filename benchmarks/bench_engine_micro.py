@@ -4,11 +4,12 @@ event throughput. These guard against performance regressions that would
 make the paper-scale protocol impractical."""
 
 import numpy as np
+import pytest
 
 from repro.core import PropertyEngine, Schedule, tac, tic
 from repro.models import build_model
 from repro.ps import ClusterSpec, build_cluster_graph, build_reference_partition
-from repro.sim import CompiledCore, CompiledSimulation, SimConfig, SimVariant
+from repro.sim import CompiledCore, SimConfig, SimVariant
 from repro.timing import ENV_G, estimate_time_oracle
 
 
@@ -44,7 +45,7 @@ def test_bench_simulated_iteration(benchmark):
     cluster = build_cluster_graph(
         build_model("Inception v3"), ClusterSpec(4, 1, "training")
     )
-    sim = CompiledSimulation(cluster, ENV_G, None, SimConfig())
+    sim = SimVariant(CompiledCore(cluster, ENV_G), None, SimConfig())
     record = benchmark(sim.run_iteration, 0)
     assert record.makespan > 0
 
@@ -54,8 +55,7 @@ def test_bench_scheduled_iteration(benchmark):
     ir = build_model("Inception v3")
     cluster = build_cluster_graph(ir, ClusterSpec(4, 1, "training"))
     schedule = Schedule("layerwise", {p.name: i for i, p in enumerate(ir.params)})
-    sim = CompiledSimulation(cluster, ENV_G, schedule,
-                             SimConfig(enforcement="sender"))
+    sim = SimVariant(CompiledCore(cluster, ENV_G), schedule, SimConfig(enforcement="sender"))
     record = benchmark(sim.run_iteration, 0)
     assert record.makespan > 0
 
@@ -65,7 +65,7 @@ def test_bench_run_iterations_batch(benchmark):
     cluster = build_cluster_graph(
         build_model("Inception v3"), ClusterSpec(4, 1, "training")
     )
-    sim = CompiledSimulation(cluster, ENV_G, None, SimConfig())
+    sim = SimVariant(CompiledCore(cluster, ENV_G), None, SimConfig())
     records = benchmark(sim.run_iterations, 0, 10)
     assert len(records) == 10
 
@@ -94,3 +94,46 @@ def test_bench_cluster_graph_assembly(benchmark):
     ir = build_model("ResNet-50 v1")
     cluster = benchmark(build_cluster_graph, ir, ClusterSpec(8, 2, "training"))
     assert len(cluster.graph) > 10_000
+
+
+def _available_kernels() -> list[str]:
+    from repro.sim import kernel
+
+    return ["python"] + (["numba"] if kernel.HAVE_NUMBA else [])
+
+
+
+@pytest.mark.parametrize("kern", _available_kernels())
+def test_bench_kernel_scheduled_iteration(benchmark, kern):
+    """ISSUE 4 seam: the scheduled hot path per event-loop kernel (the
+    workload where the numba kernel's >=2x target is measured)."""
+    ir = build_model("Inception v3")
+    cluster = build_cluster_graph(ir, ClusterSpec(4, 1, "training"))
+    schedule = Schedule("layerwise", {p.name: i for i, p in enumerate(ir.params)})
+    sim = SimVariant(CompiledCore(cluster, ENV_G), schedule,
+                     SimConfig(enforcement="sender", kernel=kern))
+    sim.run_iteration(0)  # warm the JIT outside the timed region
+    record = benchmark(sim.run_iteration, 0)
+    assert record.makespan > 0
+
+
+def test_bench_shared_core_attach(benchmark):
+    """Worker-side cost of attaching a published core (vs recompiling:
+    see test_bench_core_compilation + test_bench_cluster_graph_assembly)."""
+    from repro.sweep import sharedcore
+
+    cluster = build_cluster_graph(
+        build_model("Inception v3"), ClusterSpec(4, 1, "training")
+    )
+    core = CompiledCore(cluster, ENV_G)
+    handle = sharedcore.publish(core, meta={})
+    try:
+        def attach_fresh():
+            sharedcore.detach_all()
+            return sharedcore.attach(handle)[0]
+
+        attached = benchmark(attach_fresh)
+        assert attached.n == core.n
+    finally:
+        sharedcore.detach_all()
+        handle.unlink()

@@ -7,14 +7,24 @@ committed baseline in ``BENCH_engine.json``. Two entry points::
     PYTHONPATH=src python benchmarks/engine_perf.py check          # CI gate
 
 ``check`` exits non-zero when any benchmarked workload runs more than
-``--tolerance`` (default 25%) slower than the committed ``after`` numbers —
-the perf-trajectory guard ISSUE 3 wires into CI. Because CI runners are
+``--tolerance`` (default 25%) slower than the committed baseline — the
+perf-trajectory guard ISSUE 3 wired into CI. Because CI runners are
 heterogeneous, the comparison is normalized by a **calibration kernel**:
 an engine-independent mix of heap/list/RNG work timed in the same run,
 whose baseline cost is committed alongside the workload numbers. A host
 that is uniformly 1.8x slower scales every expectation by 1.8x, so only a
-*relative* engine regression trips the gate. ``measure --update after``
-rewrites the ``after`` block (and its calibration) in place.
+*relative* engine regression trips the gate.
+
+``--kernel {auto,python,numba,portable}`` selects the event-loop kernel
+(ISSUE 4's seam) so both maintained paths stay measured. ``check`` gates
+against the committed ``pr4`` stage entry for the *resolved* kernel
+(falling back to the pr3 ``after`` block when a stage entry is absent);
+requesting ``--kernel numba`` on a host without numba fails loudly
+instead of silently timing the python fallback, and a numba build whose
+JIT quietly broke shows up as a >25% regression against its own
+committed numbers. ``measure --update pr4`` rewrites the resolved
+kernel's ``pr4`` entry (plus calibration) in place; ``--update
+before|after`` keep maintaining the historic pr2/pr3 blocks.
 
 Workloads (chosen to cover both engine regimes):
 
@@ -41,30 +51,26 @@ import numpy as np
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_engine.json")
 
 
-def build_workloads():
+def build_workloads(kernel: str = "auto"):
     from repro.core import Schedule
     from repro.models import build_model
     from repro.ps import ClusterSpec, build_cluster_graph
-    from repro.sim import CompiledSimulation, SimConfig
+    from repro.sim import CompiledCore, SimConfig, SimVariant
     from repro.timing import ENV_G
 
     ir = build_model("Inception v3")
     cluster = build_cluster_graph(ir, ClusterSpec(4, 1, "training"))
+    core = CompiledCore(cluster, ENV_G)
     layerwise = Schedule("layerwise", {p.name: i for i, p in enumerate(ir.params)})
-    plain = CompiledSimulation(cluster, ENV_G, None, SimConfig())
-    sched = CompiledSimulation(cluster, ENV_G, layerwise,
-                               SimConfig(enforcement="sender"))
-
-    def run_batch():
-        if hasattr(plain, "run_iterations"):
-            return plain.run_iterations(0, 10)
-        return [plain.run_iteration(i) for i in range(10)]
+    plain = SimVariant(core, None, SimConfig(kernel=kernel))
+    sched = SimVariant(core, layerwise,
+                       SimConfig(enforcement="sender", kernel=kernel))
 
     return {
         "iteration_unscheduled": (lambda: plain.run_iteration(0), 1),
         "iteration_scheduled": (lambda: sched.run_iteration(0), 1),
-        "batch_10": (run_batch, 10),
-    }
+        "batch_10": (lambda: plain.run_iterations(0, 10), 10),
+    }, plain.kernel
 
 
 def _calibration_kernel() -> float:
@@ -92,16 +98,18 @@ def _calibration_kernel() -> float:
     return acc
 
 
-def measure(repeats: int = 5) -> tuple[dict, float]:
-    """(seconds-per-iteration per workload, calibration-kernel seconds)."""
+def measure(repeats: int = 5, kernel: str = "auto") -> tuple[dict, float, str]:
+    """(seconds-per-iteration per workload, calibration seconds, resolved
+    kernel name)."""
+    workloads, resolved = build_workloads(kernel)
     results = {}
-    for name, (fn, per_call) in build_workloads().items():
-        fn()  # warm caches (allocator, first-touch numpy paths)
+    for name, (fn, per_call) in workloads.items():
+        fn()  # warm caches (allocator, first-touch numpy paths, JIT)
         best = min(_time_once(fn) for _ in range(repeats))
         results[name] = best / per_call
     _calibration_kernel()
     calibration = min(_time_once(_calibration_kernel) for _ in range(repeats))
-    return results, calibration
+    return results, calibration, resolved
 
 
 def _time_once(fn) -> float:
@@ -115,27 +123,68 @@ def load_baseline() -> dict:
         return json.load(fh)
 
 
+def _stage_key(resolved: str) -> str:
+    """pr4 stage entries are keyed python/numba; 'portable' measures the
+    numba algorithm uncompiled and is never a gate baseline."""
+    return "numba" if resolved == "numba" else "python"
+
+
+def _gate_baseline(bench: dict, resolved: str) -> tuple[dict, float, str]:
+    """(workload baseline, its calibration, label) for the resolved
+    kernel: the pr4 stage entry when committed, else the pr3 'after'."""
+    entry = (bench.get("pr4") or {}).get(_stage_key(resolved))
+    if entry and entry.get("workloads"):
+        return (entry["workloads"], entry.get("calibration"),
+                f"pr4[{_stage_key(resolved)}]")
+    return bench["after"], bench.get("after_calibration"), "after (pr3)"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("command", choices=["measure", "check"])
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional slowdown vs baseline (check)")
-    parser.add_argument("--update", choices=["before", "after"],
+    parser.add_argument("--kernel", default="auto",
+                        choices=["auto", "python", "numba", "portable"],
+                        help="event-loop kernel to measure (ISSUE 4 seam); "
+                        "explicit 'numba' fails loudly when numba is missing")
+    parser.add_argument("--update", choices=["before", "after", "pr4"],
                         help="write measurements into BENCH_engine.json")
+    parser.add_argument("--min-numba-speedup", type=float, default=1.5,
+                        help="when checking --kernel numba WITHOUT a committed "
+                        "pr4[numba] stage entry, require at least this "
+                        "speedup over the python baseline — a JIT that "
+                        "compiles-but-interprets runs at python speed and "
+                        "must fail, not slip through the fallback gate")
     args = parser.parse_args(argv)
+    if args.command == "check" and args.kernel == "portable":
+        parser.error(
+            "--kernel portable is a debug path (the array kernel, "
+            "uncompiled on numba-less hosts) and has no gate baseline; "
+            "check with --kernel auto|python|numba"
+        )
 
-    results, calibration = measure(args.repeats)
+    results, calibration, resolved = measure(args.repeats, args.kernel)
     print(json.dumps(
         {**{k: round(v, 6) for k, v in results.items()},
-         "calibration": round(calibration, 6)},
+         "calibration": round(calibration, 6),
+         "kernel": resolved},
         indent=1,
     ))
 
     if args.update:
         bench = load_baseline()
-        bench[args.update] = {k: round(v, 6) for k, v in results.items()}
-        bench[f"{args.update}_calibration"] = round(calibration, 6)
+        if args.update == "pr4":
+            stage = bench.setdefault("pr4", {})
+            stage[_stage_key(resolved)] = {
+                "kernel": resolved,
+                "workloads": {k: round(v, 6) for k, v in results.items()},
+                "calibration": round(calibration, 6),
+            }
+        else:
+            bench[args.update] = {k: round(v, 6) for k, v in results.items()}
+            bench[f"{args.update}_calibration"] = round(calibration, 6)
         _rederive(bench)
         with open(BASELINE_PATH, "w") as fh:
             json.dump(bench, fh, indent=1)
@@ -144,40 +193,79 @@ def main(argv=None) -> int:
 
     if args.command == "check":
         bench = load_baseline()
-        baseline = bench["after"]
-        base_cal = bench.get("after_calibration")
+        baseline, base_cal, label = _gate_baseline(bench, resolved)
         scale = calibration / base_cal if base_cal else 1.0
+        print(f"kernel: {resolved}; baseline: {label}")
         print(f"host speed vs baseline host: {scale:.2f}x "
               f"(calibration {calibration*1e3:.0f} ms vs {base_cal*1e3:.0f} ms)"
               if base_cal else "no calibration baseline; absolute comparison")
+        # With no committed numba stage entry the fallback baseline is the
+        # python loop, which a silently-interpreted JIT matches instead of
+        # beating — so in that configuration the gate flips to a minimum-
+        # speedup requirement rather than a maximum-slowdown one.
+        min_speedup = (
+            args.min_numba_speedup
+            if resolved == "numba" and label.endswith("(pr3)")
+            else None
+        )
+        if min_speedup:
+            print(f"no committed pr4[numba] stage: requiring >={min_speedup}x "
+                  "over the python baseline (record one with "
+                  "'measure --update pr4 --kernel numba')")
         failures = []
         for name, sec in results.items():
             ref = baseline.get(name)
             if ref is None:
                 continue
-            slowdown = sec / (ref * scale) - 1.0
-            status = "FAIL" if slowdown > args.tolerance else "ok"
-            print(f"  {name}: {sec*1e3:.1f} ms vs scaled baseline "
-                  f"{ref*scale*1e3:.1f} ms ({slowdown:+.0%}) {status}")
-            if slowdown > args.tolerance:
+            if min_speedup:
+                speedup = (ref * scale) / sec
+                bad = speedup < min_speedup
+                status = "FAIL" if bad else "ok"
+                print(f"  {name}: {sec*1e3:.1f} ms vs scaled python baseline "
+                      f"{ref*scale*1e3:.1f} ms ({speedup:.2f}x) {status}")
+            else:
+                slowdown = sec / (ref * scale) - 1.0
+                bad = slowdown > args.tolerance
+                status = "FAIL" if bad else "ok"
+                print(f"  {name}: {sec*1e3:.1f} ms vs scaled baseline "
+                      f"{ref*scale*1e3:.1f} ms ({slowdown:+.0%}) {status}")
+            if bad:
                 failures.append(name)
         if failures:
-            print(f"REGRESSION: {', '.join(failures)} exceeded "
-                  f"{args.tolerance:.0%} over the committed baseline",
-                  file=sys.stderr)
+            if min_speedup:
+                print(f"REGRESSION: {', '.join(failures)} below the "
+                      f"{min_speedup}x numba-vs-python floor (broken or "
+                      "non-compiling JIT?)", file=sys.stderr)
+            else:
+                print(f"REGRESSION: {', '.join(failures)} exceeded "
+                      f"{args.tolerance:.0%} over the committed baseline",
+                      file=sys.stderr)
             return 1
         print("engine perf within tolerance")
     return 0
 
 
 def _rederive(bench: dict) -> None:
-    """Recompute the before/after speedup block when both sides exist."""
+    """Recompute the derived speedup blocks from whichever stages exist."""
     before, after = bench.get("before"), bench.get("after")
     if before and after:
         bench["speedup"] = {
             k: round(before[k] / after[k], 2)
             for k in after
             if k in before and after[k]
+        }
+    entry = (bench.get("pr4") or {}).get("numba") or {}
+    pr4 = entry.get("workloads")
+    # The two stages may be recorded on different hosts; normalize each
+    # side by its own calibration-kernel time before forming the ratio
+    # (the same host-speed scaling the check gate applies).
+    after_cal = bench.get("after_calibration")
+    pr4_cal = entry.get("calibration")
+    if after and pr4 and after_cal and pr4_cal:
+        bench["speedup_pr3_to_pr4_numba"] = {
+            k: round((after[k] / after_cal) / (pr4[k] / pr4_cal), 2)
+            for k in pr4
+            if k in after and pr4[k]
         }
 
 

@@ -17,7 +17,7 @@ from repro.core import Schedule
 from repro.core.wizard import compute_schedule
 from repro.models import build_model
 from repro.ps import ClusterSpec, build_cluster_graph, build_reference_partition
-from repro.sim import CompiledSimulation, SimConfig
+from repro.sim import CompiledCore, SimConfig, SimVariant
 from repro.timing import ENV_G
 
 MODEL = "Inception v3"
@@ -36,7 +36,7 @@ def main() -> None:
     focus = ["nic_out:ps:0", "compute:worker:0", "compute:worker:1"]
 
     for label, schedule in (("baseline", Schedule("baseline")), ("tic", tic)):
-        sim = CompiledSimulation(cluster, ENV_G, schedule, config)
+        sim = SimVariant(CompiledCore(cluster, ENV_G), schedule, config)
         record = sim.run_iteration(0)
         print(f"\n=== {MODEL}, {label}: one inference iteration "
               f"({record.makespan*1e3:.1f} ms) ===")

@@ -1,8 +1,7 @@
 """Execution-timeline tooling: ASCII Gantt charts and Chrome-trace export.
 
 Both consume an :class:`~repro.sim.engine.IterationRecord` together with
-the :class:`~repro.sim.engine.SimVariant` (or one-shot
-:class:`~repro.sim.engine.CompiledSimulation`) that produced it:
+the :class:`~repro.sim.engine.SimVariant` that produced it:
 
 * :func:`ascii_gantt` renders per-resource occupancy as text — handy to
   eyeball why a schedule wins (the paper's Fig. 1b/1c, for real models);

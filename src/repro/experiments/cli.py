@@ -126,14 +126,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
            if args.cache_max_mb is not None else {}),
     )
     names = list(ORDER) if "all" in args.experiments else args.experiments
-    for name in names:
-        ctx.log(f"=== {name} (scale={ctx.scale.name}, jobs={ctx.jobs}) ===")
-        DRIVERS[name](ctx)
-    if names and ctx.use_cache:
-        ctx.log(f"sweep cache: {ctx.sweep.stats.as_dict()}")
-    if args.cache_gc and ctx.cache_max_mb is None:
-        ctx.cache_max_mb = 0.0  # explicit GC with no cap empties the cache
-    ctx.gc_cache()
+    try:
+        for name in names:
+            ctx.log(f"=== {name} (scale={ctx.scale.name}, jobs={ctx.jobs}) ===")
+            DRIVERS[name](ctx)
+        if names and ctx.use_cache:
+            ctx.log(f"sweep cache: {ctx.sweep.stats.as_dict()}")
+        if args.cache_gc and ctx.cache_max_mb is None:
+            ctx.cache_max_mb = 0.0  # explicit GC with no cap empties the cache
+        ctx.gc_cache()
+    finally:
+        ctx.close()
     return 0
 
 

@@ -142,6 +142,16 @@ class Context:
             )
         return self._sweep
 
+    def close(self) -> None:
+        """Release the sweep runner's pool and shared-memory cores.
+
+        The CLI calls this from a ``finally`` so published
+        ``CompiledCore`` blocks never outlive the run (the runner's own
+        ``atexit`` hook is the backstop for embedders that skip it)."""
+        runner, self._sweep = self._sweep, None
+        if runner is not None:
+            runner.close()
+
     def gc_cache(self) -> Optional[dict]:
         """Apply the ``cache_max_mb`` cap to the on-disk sweep cache
         (no-op when no cap is configured).

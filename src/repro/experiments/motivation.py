@@ -20,7 +20,7 @@ import numpy as np
 
 from ..models import build_model
 from ..ps import ClusterSpec, build_cluster_graph
-from ..sim import CompiledSimulation, SimConfig
+from ..sim import CompiledCore, SimConfig, SimVariant
 from ..sweep import FnTask
 from ..timing import ENV_G
 from .common import Context, ExperimentOutput, finish, render_rows
@@ -35,9 +35,7 @@ def count_unique_orders(model: str, iterations: int, seed: int = 0) -> int:
     """Distinct parameter-arrival orders at worker:0 across iterations."""
     ir = build_model(model)
     cluster = build_cluster_graph(ir, ClusterSpec(2, 1, "training"))
-    sim = CompiledSimulation(
-        cluster, ENV_G, None, SimConfig(seed=seed, iterations=1)
-    )
+    sim = SimVariant(CompiledCore(cluster, ENV_G), None, SimConfig(seed=seed, iterations=1))
     recvs = cluster.param_recvs["worker:0"]
     op_ids = np.array(list(recvs.values()))
     seen: set[tuple] = set()

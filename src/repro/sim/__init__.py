@@ -1,6 +1,12 @@
 """Discrete-event simulation of Model-Replica + PS clusters."""
 
-from .config import COMPUTE_QUEUE_POLICIES, ENFORCEMENT_MODES, SimConfig
+from . import kernel
+from .config import (
+    COMPUTE_QUEUE_POLICIES,
+    ENFORCEMENT_MODES,
+    ENGINE_KERNELS,
+    SimConfig,
+)
 from .engine import (
     ENGINE_REV,
     CompiledCore,
@@ -21,7 +27,9 @@ from .runner import (
 __all__ = [
     "COMPUTE_QUEUE_POLICIES",
     "ENFORCEMENT_MODES",
+    "ENGINE_KERNELS",
     "ENGINE_REV",
+    "kernel",
     "SimConfig",
     "CompiledCore",
     "CompiledSimulation",

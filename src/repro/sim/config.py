@@ -31,6 +31,21 @@ ENFORCEMENT_MODES = ("sender", "ready_queue", "dag", "none")
 #: nondeterministic executor; ``fifo`` is deterministic by ready time.
 COMPUTE_QUEUE_POLICIES = ("random", "fifo")
 
+#: Event-loop kernel implementations (see :mod:`repro.sim.kernel`). All
+#: of them are bit-exact — the choice is observable only in wall time:
+#:
+#: * ``auto`` — honour ``REPRO_ENGINE_KERNEL`` if set, else ``numba``
+#:   when importable, else ``python``;
+#: * ``python`` — the tuned pure-Python loop (always available);
+#: * ``numba`` — the ``@njit(cache=True)`` array kernel (requires the
+#:   optional numba dependency; explicit requests fail loudly when it
+#:   is missing instead of silently falling back);
+#: * ``portable`` — the array kernel on any host: identical to ``numba``
+#:   where numba is installed, the same source uncompiled (slow)
+#:   elsewhere. Lets tests/debug runs pin the array code path without
+#:   depending on numba.
+from .kernel import KERNELS as ENGINE_KERNELS  # single source of truth
+
 #: How a schedule's priorities gate *collective chunk* transfers (the
 #: reduce-scatter/all-gather ops of :mod:`repro.collectives`). Chunk
 #: streams are worker-to-worker pipelines with no PS-side hand-off op, so
@@ -81,6 +96,9 @@ class SimConfig:
     #: across the whole network (None = unconstrained). The §7 future-work
     #: knob — 'take into account congestion from the network fabric'.
     fabric_slots: Optional[int] = None
+    #: event-loop kernel (see ENGINE_KERNELS). Excluded from sweep cache
+    #: keys: every kernel is bit-exact, so results are interchangeable.
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.enforcement not in ENFORCEMENT_MODES:
@@ -105,6 +123,10 @@ class SimConfig:
                 raise ValueError(f"slowdown factor for {device!r} must be > 0")
         if self.fabric_slots is not None and self.fabric_slots <= 0:
             raise ValueError("fabric_slots must be positive or None")
+        if self.kernel not in ENGINE_KERNELS:
+            raise ValueError(
+                f"kernel must be one of {ENGINE_KERNELS}, got {self.kernel!r}"
+            )
         if self.iterations <= 0 or self.warmup < 0 or self.warmup >= self.iterations + 1:
             if self.iterations <= 0 or self.warmup < 0:
                 raise ValueError("iterations must be > 0 and warmup >= 0")

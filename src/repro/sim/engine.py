@@ -38,7 +38,7 @@ iteration index).
   dense gate/priority arrays, slowdown-scaled durations, jitter sigma.
   Variant compilation touches only O(n) array fills — no graph traversal.
 
-:class:`CompiledSimulation` is the historical one-shot facade (compile a
+:class:`CompiledSimulation` is the deprecated one-shot facade (compile a
 private core and bind one variant). The hot loop itself is array-native:
 flat per-channel queues with head/tail cursors instead of ``list.pop(0)``,
 eligible-set bookkeeping that avoids rescanning ready queues, and a
@@ -47,11 +47,21 @@ setup (jitter factors for a whole batch are drawn as one matrix). The
 rewrite is bit-exact: the RNG stream per ``(seed, iteration)`` and every
 floating-point operation order are preserved from the reference
 implementation (see ``tests/sim/test_engine_golden.py``).
+
+**Kernel seam.** The event loop exists in two interchangeable,
+bit-exact implementations selected by ``SimConfig.kernel`` /
+``REPRO_ENGINE_KERNEL``: the tuned pure-Python loop in this module
+(:meth:`SimVariant._execute`, always available) and the numba
+``@njit(cache=True)`` array kernel in :mod:`repro.sim.kernel`
+(:meth:`SimVariant._execute_kernel`; optional dependency, auto-detected).
+``tests/sim/test_kernel_parity.py`` pins them against each other and the
+golden matrix, so the kernel choice is observable only in wall time.
 """
 
 from __future__ import annotations
 
 import heapq
+import warnings
 from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Optional
@@ -62,13 +72,14 @@ from ..core.schedules import Schedule, chunk_ranks
 from ..graph import OpKind, ResourceKind
 from ..ps.cluster import ClusterGraph
 from ..timing import Platform
+from . import kernel as _kernel
 from .config import SimConfig
 
 #: Revision of the engine's compiled-array layout / numerical contract.
 #: Folded into the sweep cache key (see :mod:`repro.sweep.fingerprint`):
 #: bump it whenever the engine's numbers are *intended* to change, so
 #: cached cells simulated by an older engine can never be served as hits.
-ENGINE_REV = 2
+ENGINE_REV = 3
 
 # Event codes (heap entries are (time, seq, code, op_id)).
 _COMPUTE_DONE = 0
@@ -267,9 +278,34 @@ class CompiledCore:
         self.comp_ids = np.flatnonzero(~self.is_transfer)
         self.comp_res = self.op_res[self.comp_ids]
 
+        self._build_mirrors()
+
+    @classmethod
+    def from_arrays(cls, arrays: dict, state: dict) -> "CompiledCore":
+        """Rebuild a core from its compiled arrays + small python state,
+        skipping the graph traversal entirely (the cross-process shared-
+        core path — see :mod:`repro.sweep.sharedcore`). The arrays may be
+        read-only views of a shared-memory buffer; the core never writes
+        them. ``state['cluster']`` is typically a detached stand-in
+        exposing only the post-compile surface (``worker_ops``,
+        ``chunk_params``, ``chunk_order``)."""
+        core = cls.__new__(cls)
+        for name, arr in arrays.items():
+            setattr(core, name, arr)
+        for name, value in state.items():
+            setattr(core, name, value)
+        core.device_compute_ops = {
+            dev: np.asarray(ids, dtype=np.int64)
+            for dev, ids in core.device_compute_ops.items()
+        }
+        core._build_mirrors()
+        return core
+
+    def _build_mirrors(self) -> None:
         # --- python-native mirrors for the event loop --------------------
         # Scalar indexing of numpy arrays costs ~10x a list index in the
         # interpreter; the hot loop reads these instead.
+        n = self.n
         self.base_indeg_list = self.base_indeg.tolist()
         self.succ_indptr_list = self.succ_indptr.tolist()
         self.succ_indices_list = self.succ_indices.tolist()
@@ -376,6 +412,12 @@ class SimVariant:
             else self.config.jitter_sigma
         )
 
+        # Event-loop kernel seam (ISSUE 4): 'python' keeps the loop in
+        # this module; 'numba'/'portable' route through the array kernel
+        # in repro.sim.kernel. All are bit-exact (golden + parity suites).
+        self.kernel = _kernel.resolve(self.config.kernel)
+        self._kernel_loop = _kernel.loop_for(self.kernel)
+
         # Static per-op slowdown multipliers (compute ops of slow devices).
         self.slowdown = np.ones(n)
         for device, factor in self.config.device_slowdown:
@@ -389,6 +431,7 @@ class SimVariant:
         self._dur0 = self.base_dur.tolist()
         self._wire0 = core.wire_base.tolist()
         self._chunk0 = [self.chunk_wire] * n
+        self._chunk0_arr = np.full(n, self.chunk_wire)
         self._dedicated0 = np.where(
             core.is_transfer, core.wire_base + core.lat, self.base_dur
         )
@@ -535,6 +578,7 @@ class SimVariant:
         core = self.core
         n = core.n
         sigma = self._jitter_sigma
+        use_kernel = self._kernel_loop is not None
         for lo in range(0, max(count, 0), self._SLAB):
             slab = min(self._SLAB, count - lo)
             rngs = [
@@ -554,19 +598,52 @@ class SimVariant:
                 for i in range(slab):
                     # the dedicated row is copied so a surviving record
                     # does not pin the whole slab matrix alive
-                    yield self._execute(
-                        rngs[i],
-                        durs[i].tolist(),
-                        wires[i].tolist(),
-                        chunks[i].tolist(),
-                        dedicated[i].copy(),
-                    )
+                    if use_kernel:
+                        yield self._execute_kernel(
+                            rngs[i], durs[i], wires[i], chunks[i],
+                            dedicated[i].copy(),
+                        )
+                    else:
+                        yield self._execute(
+                            rngs[i],
+                            durs[i].tolist(),
+                            wires[i].tolist(),
+                            chunks[i].tolist(),
+                            dedicated[i].copy(),
+                        )
             else:
                 for rng in rngs:
-                    yield self._execute(
-                        rng, self._dur0, self._wire0, self._chunk0,
-                        self._dedicated0.copy(),
-                    )
+                    if use_kernel:
+                        yield self._execute_kernel(
+                            rng, self.base_dur, core.wire_base,
+                            self._chunk0_arr, self._dedicated0.copy(),
+                        )
+                    else:
+                        yield self._execute(
+                            rng, self._dur0, self._wire0, self._chunk0,
+                            self._dedicated0.copy(),
+                        )
+
+    # ------------------------------------------------------------------
+    def _execute_kernel(self, rng, dur, wire, chunk_of, dedicated) -> IterationRecord:
+        """Run one iteration through the array kernel (numba/portable).
+
+        Bit-exact with :meth:`_execute`: the kernel replays the same
+        event order and consumes the same RNG stream (see
+        :mod:`repro.sim.kernel`)."""
+        start_arr, end_arr = _kernel.execute_event_loop(
+            self, rng, dur, wire, chunk_of, self._kernel_loop
+        )
+        if np.isnan(end_arr).any():  # pragma: no cover - would indicate a bug
+            stuck = int(np.isnan(end_arr).sum())
+            raise RuntimeError(f"simulation deadlock: {stuck} ops never ran")
+        return IterationRecord(
+            makespan=float(np.nanmax(end_arr)),
+            start=start_arr,
+            end=end_arr,
+            dedicated=dedicated,
+            out_of_order_handoffs=self._count_out_of_order(start_arr),
+        )
 
     # ------------------------------------------------------------------
     def _execute(self, rng, dur, wire, chunk_of, dedicated) -> IterationRecord:
@@ -1008,10 +1085,16 @@ class SimVariant:
 
 
 class CompiledSimulation(SimVariant):
-    """One-shot facade: compile a private :class:`CompiledCore` and bind a
-    single variant. Sweeps should compile the core once and bind
-    :class:`SimVariant` per ``(schedule, config)`` instead — see
-    :func:`repro.sim.runner.simulate_cell_group`."""
+    """Deprecated one-shot facade: compile a private :class:`CompiledCore`
+    and bind a single variant.
+
+    .. deprecated:: ENGINE_REV 3
+        Compile the core once and bind
+        ``SimVariant(CompiledCore(cluster, platform), schedule, config)``
+        per variant instead (or go through
+        :func:`repro.sim.runner.simulate_cell_group`, which shares one
+        core across a whole cell group). This shim recompiles the full
+        array set per instantiation and defeats compile-once reuse."""
 
     def __init__(
         self,
@@ -1020,4 +1103,10 @@ class CompiledSimulation(SimVariant):
         schedule: Optional[Schedule] = None,
         config: Optional[SimConfig] = None,
     ) -> None:
+        warnings.warn(
+            "CompiledSimulation is deprecated: compile a CompiledCore once "
+            "and bind SimVariant(core, schedule, config) per variant",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(CompiledCore(cluster, platform), schedule, config)

@@ -29,7 +29,7 @@ from ..models.ir import ModelIR
 from ..ps.cluster import ClusterSpec, build_cluster_graph
 from ..timing import Platform, get_platform
 from .config import SimConfig
-from .engine import CompiledSimulation
+from .engine import CompiledCore, SimVariant
 from .runner import prepare_schedule
 
 
@@ -82,7 +82,7 @@ def simulate_pipelined(
             schedule = Schedule("baseline")
         else:
             schedule = prepare_schedule(ir, spec, algorithm, plat, seed=cfg.seed)
-    sim = CompiledSimulation(cluster, plat, schedule, cfg)
+    sim = SimVariant(CompiledCore(cluster, plat), schedule, cfg)
     result = PipelinedResult(
         model=ir.name, algorithm=schedule.algorithm, window=window
     )

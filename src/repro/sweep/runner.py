@@ -11,9 +11,21 @@ Execution pipeline for a batch of :class:`~repro.sweep.spec.SimCell`:
    platform); each group compiles its model IR and cluster graph once and
    runs all member cells against it (:func:`simulate_cell_group`).
 4. **Fan out** — groups execute either in-process (``jobs <= 1``) or on a
-   ``ProcessPoolExecutor``. Cells are independent and the engine seeds
-   from ``(config.seed, iteration)``, so parallel and serial execution
-   produce bitwise-identical results.
+   **persistent** ``ProcessPoolExecutor`` that lives for the whole runner
+   (one pool spawn per run, not one per grid). With ``jobs > 1``,
+   variant-heavy groups go through the shared-core path: one worker
+   compiles the group's :class:`~repro.sim.engine.CompiledCore` *once*,
+   publishes its arrays into a shared-memory block
+   (:mod:`repro.sweep.sharedcore`) together with the group's wizard
+   schedules, and — as soon as that completes, no cross-group barrier —
+   every cell of the group simulates as its own task against the
+   attached read-only core, so a grid's variants parallelize across the
+   pool instead of serializing inside one group task. Small groups in a
+   group-rich batch keep the classic one-task-per-group lane on the same
+   pool (group-level parallelism already saturates it). Cells are
+   independent and the engine seeds from ``(config.seed, iteration)``,
+   so serial, grouped and shared-core execution produce bitwise-identical
+   results.
 5. **Round-trip** — every fresh result passes through the JSON
    serialization (lossless for IEEE doubles) before being returned and
    cached, so the first run and every cached re-run yield the exact same
@@ -21,20 +33,30 @@ Execution pipeline for a batch of :class:`~repro.sweep.spec.SimCell`:
 
 :class:`FnTask` batches follow the same dedupe/cache/fan-out path, minus
 the grouping.
+
+Shared-memory blocks are owned by the runner: they are reused across
+``run_cells`` calls (a driver re-sweeping a group never recompiles it)
+and unlinked on :meth:`SweepRunner.close` — which runs from ``with``
+blocks, ``__del__`` and ``atexit``, so aborted runs do not leak
+``/dev/shm`` segments.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional, Sequence
 
+from ..core.schedules import Schedule
 from ..sim.metrics import SimulationResult
 from ..sim.runner import simulate_cell_group, throughput_gain_pct
 from .cache import CacheStats, ResultCache, cache_key
 from .serialize import result_from_dict, result_to_dict
 from .spec import FnTask, SimCell
+from . import sharedcore
+
 
 def _run_group(cells: Sequence[SimCell]) -> list:
     """Worker entry point: simulate one compile-once group (module-level
@@ -56,6 +78,109 @@ def _run_group(cells: Sequence[SimCell]) -> list:
     ]
 
 
+class _PreparedGroup(NamedTuple):
+    """One published group core plus everything phase-B workers need."""
+
+    handle: sharedcore.SharedCoreHandle
+    #: (algorithm, seed) -> wizard Schedule ('baseline' entries omitted).
+    schedules: dict
+
+
+def _prepare_schedules(cells: Sequence[SimCell]) -> dict:
+    """Run the ordering wizard once per distinct (algorithm, seed) of
+    ``cells``. Identical inputs to
+    :func:`repro.sim.runner.simulate_cluster`'s own schedule prep, so
+    phase-B results match the one-shot path bit-for-bit."""
+    from ..backends import prepare_comm_schedule
+    from ..models import build_model
+    from ..timing import get_platform
+
+    first = cells[0]
+    plat = get_platform(first.platform)
+    ir = build_model(first.model, batch_factor=first.batch_factor)
+    schedules: dict = {}
+    for cell in cells:
+        key = (cell.algorithm, cell.config.seed)
+        if cell.algorithm != "baseline" and key not in schedules:
+            schedules[key] = prepare_comm_schedule(
+                ir, cell.spec, cell.algorithm, plat, seed=cell.config.seed
+            )
+    return schedules
+
+
+def _prepare_group(cells: Sequence[SimCell]) -> _PreparedGroup:
+    """Phase A worker entry point: compile one group's model IR, cluster
+    graph and engine core, publish the core to shared memory, and run the
+    ordering wizard for the group's variants."""
+    from ..backends import build_comm_graph
+    from ..models import build_model
+    from ..sim.engine import CompiledCore
+    from ..timing import get_platform
+
+    first = cells[0]
+    plat = get_platform(first.platform)
+    ir = build_model(first.model, batch_factor=first.batch_factor)
+    cluster = build_comm_graph(ir, first.spec)
+    core = CompiledCore(cluster, plat)
+    # wizard BEFORE publish: once a block exists, only the returned
+    # handle can unlink it — a schedule failure after publish would
+    # leak the segment past close()/atexit.
+    schedules = _prepare_schedules(cells)
+    handle = sharedcore.publish(
+        core,
+        meta={
+            "model": ir.name,
+            "batch_size": ir.batch_size,
+            "n_params": ir.n_param_tensors,
+        },
+    )
+    return _PreparedGroup(handle=handle, schedules=schedules)
+
+
+
+
+def _run_shared_cell(args: tuple) -> object:
+    """Phase B worker entry point: simulate one cell against an attached
+    shared core. Mirrors :func:`repro.sim.runner.simulate_cluster` (same
+    variant binding, same iteration protocol, same summarization), so the
+    result is bit-identical to the grouped/serial paths."""
+    from ..sim.engine import SimVariant
+    from ..sim.metrics import summarize_iteration
+    from ..timing import get_platform
+
+    handle, schedule, cell = args
+    core, meta = sharedcore.attach(handle)
+    plat = get_platform(cell.platform)
+    cfg = cell.config
+    if cell.algorithm == "baseline":
+        schedule = Schedule("baseline")
+    elif schedule is None:
+        # belt-and-braces: a missing schedule must never silently mean
+        # 'baseline' — recompute it here (memoized per worker process).
+        from ..backends import prepare_comm_schedule
+        from ..models import build_model
+
+        ir = build_model(cell.model, batch_factor=cell.batch_factor)
+        schedule = prepare_comm_schedule(
+            ir, cell.spec, cell.algorithm, plat, seed=cfg.seed
+        )
+    sim = SimVariant(core, schedule, cfg)
+    result = SimulationResult(
+        model=meta["model"],
+        batch_size=meta["batch_size"],
+        n_workers=cell.spec.n_workers,
+        n_ps=cell.spec.n_ps,
+        workload=cell.spec.workload,
+        algorithm=schedule.algorithm,
+        platform=plat.name,
+        n_params=meta["n_params"],
+    )
+    for i, record in enumerate(sim.iter_iterations(0, cfg.total_iterations)):
+        summary = summarize_iteration(sim, record, keep_op_times=cfg.keep_op_times)
+        (result.warmup if i < cfg.warmup else result.iterations).append(summary)
+    return result_to_dict(result) if cell.cacheable else result
+
+
 def _run_task(task: FnTask) -> object:
     """Worker entry point for function tasks."""
     return task.resolve()(**dict(task.kwargs))
@@ -75,14 +200,23 @@ class SweepRunner:
 
     ``jobs`` caps worker processes (<=1 means in-process serial).
     ``cache_dir=None`` disables the on-disk cache; ``rerun`` recomputes
-    every unit and refreshes its cache entry.
+    every unit and refreshes its cache entry. ``share_cores=False``
+    forces the legacy one-task-per-group fan-out (no shared memory).
+
+    The worker pool is persistent: it is spawned on first use and reused
+    by every subsequent ``run_cells``/``run_tasks`` call until
+    :meth:`close` (usable as a context manager; ``atexit`` covers runs
+    that never close explicitly).
     """
 
     jobs: int = 1
     cache_dir: Optional[str] = None
     rerun: bool = False
+    share_cores: bool = True
     stats: CacheStats = field(init=False)
     _cache: Optional[ResultCache] = field(init=False, default=None, repr=False)
+    _pool: Optional[ProcessPoolExecutor] = field(init=False, default=None, repr=False)
+    _group_cores: dict = field(init=False, default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.cache_dir:
@@ -90,6 +224,31 @@ class SweepRunner:
             self.stats = self._cache.stats
         else:
             self.stats = CacheStats()
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down and unlink published shared cores.
+        Idempotent; runs from ``with`` exits, ``__del__`` and ``atexit``
+        so crashed sweeps do not leak ``/dev/shm`` blocks."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        groups, self._group_cores = self._group_cores, {}
+        for prepared in groups.values():
+            prepared.handle.unlink()
+        atexit.unregister(self.close)
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- cells ----------------------------------------------------------
     def run_cells(self, cells: Sequence[SimCell]) -> list[SimulationResult]:
@@ -117,17 +276,109 @@ class SweepRunner:
         for cell in pending:
             groups.setdefault(cell.group_key, []).append(cell)
 
-        for group, payloads in zip(
-            groups.values(), self._map(_run_group, list(groups.values()))
-        ):
-            for cell, payload in zip(group, payloads):
-                if isinstance(payload, dict):
-                    resolved[cell] = result_from_dict(payload)
-                    if self._cache is not None:
-                        self._cache.put(keys[cell], payload)
-                else:  # keep_op_times: live result, never cached
-                    resolved[cell] = payload
+        reusable = any(gk in self._group_cores for gk in groups)
+        if self.jobs > 1 and self.share_cores and (len(pending) > 1 or reusable):
+            # also route single-cell batches through the shared path when
+            # their group's core is already published — attaching beats
+            # recompiling the IR/cluster/core from scratch.
+            self._run_groups_shared(groups, resolved, keys)
+        else:
+            for group, payloads in zip(
+                groups.values(), self._map(_run_group, list(groups.values()))
+            ):
+                for cell, payload in zip(group, payloads):
+                    self._store(cell, payload, resolved, keys)
         return [resolved[cell] for cell in cells]
+
+    def _worth_sharing(self, n_cells: int, n_groups: int) -> bool:
+        """Split a group's cells across workers only when that buys
+        parallelism or amortization: either the batch has fewer groups
+        than workers (group-level fan-out would leave the pool starved),
+        or the group is variant-heavy enough that the publish/attach
+        overhead is dwarfed. Small groups in a group-rich batch stay on
+        the one-task-per-group lane, which already saturates the pool
+        with no shared-memory round trips."""
+        return n_groups < self.jobs or n_cells >= 4
+
+    def _run_groups_shared(self, groups, resolved, keys) -> None:
+        """Streaming shared-core fan-out (``jobs > 1``).
+
+        Each new shareable group gets a *prepare* task (compile the
+        IR/cluster/core once, publish to shared memory, wizard the
+        schedules); the moment it completes, one *cell* task per member
+        fans out against the attached core — no barrier between groups,
+        so a slow-compiling group never stalls the others' simulations.
+        Already-published groups (cross-call reuse) skip straight to cell
+        tasks, topping up wizard schedules first when the reuse brings
+        algorithms/seeds the original publish did not cover (a missing
+        schedule must never degrade a cell to baseline). Groups not worth
+        sharing run as classic one-task-per-group units on the same pool.
+        Cores persist on the runner for reuse and are unlinked in
+        :meth:`close`.
+        """
+        pool = self._get_pool()
+        pending: dict = {}  # future -> ("cell", cell) | ("group", cells) | ...
+
+        def submit_cells(group_key, cells) -> None:
+            prepared = self._group_cores[group_key]
+            for cell in cells:
+                schedule = prepared.schedules.get(
+                    (cell.algorithm, cell.config.seed)
+                )
+                fut = pool.submit(
+                    _run_shared_cell, (prepared.handle, schedule, cell)
+                )
+                pending[fut] = ("cell", cell)
+
+        for group_key, cells in groups.items():
+            prepared = self._group_cores.get(group_key)
+            if prepared is not None:
+                missing = [
+                    cell
+                    for cell in cells
+                    if cell.algorithm != "baseline"
+                    and (cell.algorithm, cell.config.seed)
+                    not in prepared.schedules
+                ]
+                submit_cells(
+                    group_key, [c for c in cells if c not in missing]
+                )
+                if missing:
+                    fut = pool.submit(_prepare_schedules, missing)
+                    pending[fut] = ("sched", group_key, missing)
+            elif len(cells) > 1 and self._worth_sharing(len(cells), len(groups)):
+                fut = pool.submit(_prepare_group, cells)
+                pending[fut] = ("prep", group_key, cells)
+            else:
+                fut = pool.submit(_run_group, cells)
+                pending[fut] = ("group", cells)
+
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                tag = pending.pop(fut)
+                kind = tag[0]
+                if kind == "cell":
+                    self._store(tag[1], fut.result(), resolved, keys)
+                elif kind == "group":
+                    for cell, payload in zip(tag[1], fut.result()):
+                        self._store(cell, payload, resolved, keys)
+                elif kind == "prep":
+                    _, group_key, cells = tag
+                    self._group_cores[group_key] = fut.result()
+                    submit_cells(group_key, cells)
+                else:  # sched top-up completed
+                    _, group_key, cells = tag
+                    self._group_cores[group_key].schedules.update(fut.result())
+                    submit_cells(group_key, cells)
+
+    def _store(self, cell, payload, resolved, keys) -> None:
+        if isinstance(payload, dict):
+            resolved[cell] = result_from_dict(payload)
+            if self._cache is not None:
+                self._cache.put(keys[cell], payload)
+        else:  # keep_op_times: live result, never cached
+            resolved[cell] = payload
 
     def run_speedups(self, cells: Sequence[SimCell]) -> list[Speedup]:
         """For each scheduled cell, also run its baseline twin and report
@@ -186,10 +437,18 @@ class SweepRunner:
         return self._cache.gc(int(max_mb * 2**20))
 
     # -- execution ------------------------------------------------------
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            atexit.register(self.close)
+        return self._pool
+
     def _map(self, fn, items: list) -> list:
         if not items:
             return []
         if self.jobs <= 1 or len(items) == 1:
             return [fn(item) for item in items]
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
-            return list(pool.map(fn, items))
+        # explicit chunksize: default (1) pickles one task per IPC round
+        # trip; batching amortizes it while keeping the pool balanced.
+        chunksize = max(1, len(items) // (self.jobs * 4) or 1)
+        return list(self._get_pool().map(fn, items, chunksize=chunksize))

@@ -75,11 +75,16 @@ class SimCell:
         # never be served as hits (also folded into code_fingerprint).
         from ..sim.engine import ENGINE_REV
 
+        cell = asdict(self)
+        # The event-loop kernel is observable only in wall time (every
+        # kernel is bit-exact, pinned by the golden + parity suites), so
+        # numba and python runs share cache entries.
+        cell["config"].pop("kernel", None)
         return {
             "kind": "sim_cell",
             "spec_type": type(self.spec).__name__,
             "engine_rev": ENGINE_REV,
-            "cell": asdict(self),
+            "cell": cell,
         }
 
     def cache_key_material(self) -> str:

@@ -7,7 +7,7 @@ import pytest
 
 from repro.analysis import ascii_gantt, chrome_trace, write_chrome_trace
 from repro.ps import ClusterSpec, build_cluster_graph
-from repro.sim import CompiledSimulation, SimConfig
+from repro.sim import CompiledCore, SimConfig, SimVariant
 
 from ..conftest import tiny_model
 from ..sim.test_engine import FLAT
@@ -16,7 +16,7 @@ from ..sim.test_engine import FLAT
 @pytest.fixture(scope="module")
 def run():
     cluster = build_cluster_graph(tiny_model(), ClusterSpec(2, 1, "training"))
-    sim = CompiledSimulation(cluster, FLAT, None, SimConfig(iterations=1))
+    sim = SimVariant(CompiledCore(cluster, FLAT), None, SimConfig(iterations=1))
     return sim, sim.run_iteration(0)
 
 

@@ -13,7 +13,7 @@ from repro.collectives import (
 from repro.core.schedules import Schedule, chunk_ranks
 from repro.ps.cluster import ClusterSpec
 from repro.sim import SimConfig, simulate_cluster
-from repro.sim.engine import CompiledSimulation
+from repro.sim.engine import CompiledCore, SimVariant
 from repro.timing import get_platform
 
 from ..conftest import tiny_model
@@ -52,7 +52,7 @@ def test_engine_assigns_priorities_to_every_chunk_transfer():
     plat = get_platform("envG")
     cluster = build_collective_graph(ir, spec)
     schedule = prepare_collective_schedule(ir, spec, "tic", plat)
-    sim = CompiledSimulation(cluster, plat, schedule, SimConfig())
+    sim = SimVariant(CompiledCore(cluster, plat), schedule, SimConfig())
     chunk_op_ids = {
         t.op_id
         for transfers in cluster.transfers_by_link.values()
@@ -70,9 +70,7 @@ def test_chunk_queue_fifo_disables_priorities():
     plat = get_platform("envG")
     cluster = build_collective_graph(ir, spec)
     schedule = prepare_collective_schedule(ir, spec, "tic", plat)
-    sim = CompiledSimulation(
-        cluster, plat, schedule, SimConfig(chunk_queue="fifo")
-    )
+    sim = SimVariant(CompiledCore(cluster, plat), schedule, SimConfig(chunk_queue="fifo"))
     assert not sim.prio
 
 

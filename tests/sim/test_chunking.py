@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ps import ClusterSpec, build_cluster_graph
-from repro.sim import CompiledSimulation, SimConfig
+from repro.sim import CompiledCore, SimConfig, SimVariant
 from repro.timing import Platform
 
 from ..conftest import tiny_model
@@ -27,9 +27,7 @@ def cluster():
 
 
 def run(cluster, platform=COMM_HEAVY, **cfg):
-    sim = CompiledSimulation(
-        cluster, platform, None, SimConfig(**{"iterations": 1, **cfg})
-    )
+    sim = SimVariant(CompiledCore(cluster, platform), None, SimConfig(**{"iterations": 1, **cfg}))
     return sim, sim.run_iteration(0)
 
 
@@ -96,7 +94,7 @@ def test_zero_cost_transfer_legal():
     # shrink one transfer to zero bytes
     t = cluster.param_transfers[0]
     cluster.graph.op(t.op_id).cost = 0.0
-    sim = CompiledSimulation(cluster, COMM_HEAVY, None, SimConfig(iterations=1))
+    sim = SimVariant(CompiledCore(cluster, COMM_HEAVY), None, SimConfig(iterations=1))
     record = sim.run_iteration(0)
     span = record.end[t.op_id] - record.start[t.op_id]
     assert span == pytest.approx(COMM_HEAVY.rpc_latency_s)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import Schedule
 from repro.ps import ClusterSpec, build_cluster_graph
-from repro.sim import CompiledSimulation, SimConfig
+from repro.sim import CompiledCore, SimConfig, SimVariant
 
 from ..conftest import tiny_model
 from .test_engine import FLAT
@@ -29,7 +29,7 @@ def wire_order(cluster, record, link):
 
 def run(cluster, schedule, **cfg):
     config = SimConfig(**{"iterations": 1, "grpc_reorder_prob": 0.0, **cfg})
-    sim = CompiledSimulation(cluster, FLAT, schedule, config)
+    sim = SimVariant(CompiledCore(cluster, FLAT), schedule, config)
     return sim.run_iteration(0)
 
 
@@ -60,7 +60,7 @@ def test_noise_produces_residual_reordering(cluster, schedule):
     total = out = 0
     for i in range(20):
         config = SimConfig(iterations=1, grpc_reorder_prob=0.02, seed=i)
-        sim = CompiledSimulation(cluster, FLAT, schedule, config)
+        sim = SimVariant(CompiledCore(cluster, FLAT), schedule, config)
         record = sim.run_iteration(i)
         out += record.out_of_order_handoffs
         total += len(cluster.param_transfers)
@@ -96,19 +96,15 @@ def test_ready_queue_mode_roughly_follows_priorities(cluster, schedule):
 
 
 def test_empty_schedule_disables_gates(cluster):
-    sim = CompiledSimulation(
-        cluster, FLAT, Schedule("baseline"), SimConfig(iterations=1)
-    )
+    sim = SimVariant(CompiledCore(cluster, FLAT), Schedule("baseline"), SimConfig(iterations=1))
     assert not sim.handoff_gate and not sim.dag_gate and not sim.prio
     assert sim.run_iteration(0).out_of_order_handoffs == 0
 
 
 def test_gates_compiled_per_mode(cluster, schedule):
-    sender = CompiledSimulation(cluster, FLAT, schedule,
-                                SimConfig(enforcement="sender"))
-    dag = CompiledSimulation(cluster, FLAT, schedule, SimConfig(enforcement="dag"))
-    rq = CompiledSimulation(cluster, FLAT, schedule,
-                            SimConfig(enforcement="ready_queue"))
+    sender = SimVariant(CompiledCore(cluster, FLAT), schedule, SimConfig(enforcement="sender"))
+    dag = SimVariant(CompiledCore(cluster, FLAT), schedule, SimConfig(enforcement="dag"))
+    rq = SimVariant(CompiledCore(cluster, FLAT), schedule, SimConfig(enforcement="ready_queue"))
     n = len(cluster.param_transfers)
     assert len(sender.handoff_gate) == n and not sender.dag_gate
     assert len(dag.dag_gate) == n and not dag.handoff_gate

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import Schedule
 from repro.ps import ClusterSpec, build_cluster_graph
-from repro.sim import CompiledSimulation, SimConfig
+from repro.sim import CompiledCore, SimConfig, SimVariant
 from repro.timing import ENV_G, Platform
 
 from ..conftest import tiny_model
@@ -29,7 +29,7 @@ def cluster():
 
 def compile_sim(cluster, schedule=None, **cfg):
     config = SimConfig(**{"iterations": 1, "grpc_reorder_prob": 0.0, **cfg})
-    return CompiledSimulation(cluster, FLAT, schedule, config)
+    return SimVariant(CompiledCore(cluster, FLAT), schedule, config)
 
 
 def layerwise(cluster):
@@ -78,10 +78,7 @@ def test_deterministic_given_seed(cluster):
 
 
 def test_different_iterations_differ_under_jitter(cluster):
-    sim = CompiledSimulation(
-        cluster, FLAT.scaled(jitter_sigma=0.05),
-        None, SimConfig(iterations=1, seed=0),
-    )
+    sim = SimVariant(CompiledCore(cluster, FLAT.scaled(jitter_sigma=0.05)), None, SimConfig(iterations=1, seed=0))
     assert sim.run_iteration(0).makespan != sim.run_iteration(1).makespan
 
 
@@ -139,7 +136,7 @@ def test_untagged_resource_rejected():
     bad = build_cluster_graph(tiny_model(), ClusterSpec(1, 1, "inference"))
     bad.graph._ops[0].resource = None
     with pytest.raises(ValueError, match="resource tag"):
-        CompiledSimulation(bad, FLAT)
+        SimVariant(CompiledCore(bad, FLAT))
 
 
 def test_resource_names_cover_nics_and_computes(cluster):

@@ -32,7 +32,6 @@ from repro.core import Schedule
 from repro.ps import ClusterSpec, build_cluster_graph
 from repro.sim import (
     CompiledCore,
-    CompiledSimulation,
     SimConfig,
     SimVariant,
     simulate_cell_group,
@@ -152,7 +151,7 @@ def run_case(case: dict) -> dict:
     ir, cluster = build_cluster(case["backend"])
     platform = FLAT if case["platform"] == "flat" else get_platform(case["platform"])
     schedule = None if case["schedule"] == "baseline" else layerwise(ir)
-    sim = CompiledSimulation(cluster, platform, schedule, make_config(case["config"]))
+    sim = SimVariant(CompiledCore(cluster, platform), schedule, make_config(case["config"]))
     iterations = []
     for i in range(ITERATIONS):
         record = sim.run_iteration(i)
@@ -227,7 +226,7 @@ def test_run_iterations_equals_k_single_runs(first, count, mode, sigma):
     ir, cluster = build_cluster("ps")
     schedule = None if mode == "none" else layerwise(ir)
     cfg = SimConfig(enforcement=mode, jitter_sigma=sigma, iterations=1, seed=9)
-    sim = CompiledSimulation(cluster, FLAT, schedule, cfg)
+    sim = SimVariant(CompiledCore(cluster, FLAT), schedule, cfg)
     batch = sim.run_iterations(first, count)
     assert len(batch) == count
     for i, record in enumerate(batch):
@@ -245,10 +244,8 @@ def test_variants_share_core_without_interference():
     b = SimVariant(core, sched, cfg.with_(enforcement="ready_queue"))
     # interleave executions of both variants against the shared core
     got = [a.run_iteration(0), b.run_iteration(0), a.run_iteration(1)]
-    ref_a = CompiledSimulation(cluster, FLAT, None, cfg)
-    ref_b = CompiledSimulation(
-        cluster, FLAT, sched, cfg.with_(enforcement="ready_queue")
-    )
+    ref_a = SimVariant(CompiledCore(cluster, FLAT), None, cfg)
+    ref_b = SimVariant(CompiledCore(cluster, FLAT), sched, cfg.with_(enforcement="ready_queue"))
     assert _records_equal(got[0], ref_a.run_iteration(0))
     assert _records_equal(got[1], ref_b.run_iteration(0))
     assert _records_equal(got[2], ref_a.run_iteration(1))

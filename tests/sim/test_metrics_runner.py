@@ -6,8 +6,9 @@ import pytest
 from repro.core import Schedule
 from repro.ps import ClusterSpec, build_cluster_graph
 from repro.sim import (
-    CompiledSimulation,
+    CompiledCore,
     SimConfig,
+    SimVariant,
     simulate_cluster,
     speedup_vs_baseline,
     summarize_iteration,
@@ -23,7 +24,7 @@ def cluster():
 
 
 def test_summarize_iteration_fields(cluster):
-    sim = CompiledSimulation(cluster, FLAT, None, SimConfig(iterations=1))
+    sim = SimVariant(CompiledCore(cluster, FLAT), None, SimConfig(iterations=1))
     record = sim.run_iteration(0)
     it = summarize_iteration(sim, record)
     assert set(it.worker_finish) == {"worker:0", "worker:1"}
@@ -33,16 +34,14 @@ def test_summarize_iteration_fields(cluster):
 
 
 def test_keep_op_times_flag(cluster):
-    sim = CompiledSimulation(cluster, FLAT, None, SimConfig(iterations=1))
+    sim = SimVariant(CompiledCore(cluster, FLAT), None, SimConfig(iterations=1))
     record = sim.run_iteration(0)
     it = summarize_iteration(sim, record, keep_op_times=True)
     assert it.start is not None and len(it.end) == len(cluster.graph)
 
 
 def test_straggler_pct_definition(cluster):
-    sim = CompiledSimulation(
-        cluster, FLAT.scaled(jitter_sigma=0.05), None, SimConfig(iterations=1)
-    )
+    sim = SimVariant(CompiledCore(cluster, FLAT.scaled(jitter_sigma=0.05)), None, SimConfig(iterations=1))
     it = summarize_iteration(sim, sim.run_iteration(0))
     finishes = list(it.worker_finish.values())
     expected = (max(finishes) - min(finishes)) / it.makespan * 100
@@ -52,13 +51,13 @@ def test_straggler_pct_definition(cluster):
 
 def test_single_worker_has_zero_straggler():
     cluster = build_cluster_graph(tiny_model(), ClusterSpec(1, 1, "inference"))
-    sim = CompiledSimulation(cluster, FLAT, None, SimConfig(iterations=1))
+    sim = SimVariant(CompiledCore(cluster, FLAT), None, SimConfig(iterations=1))
     it = summarize_iteration(sim, sim.run_iteration(0))
     assert it.straggler_pct == 0.0
 
 
 def test_worker_finish_no_later_than_makespan(cluster):
-    sim = CompiledSimulation(cluster, FLAT, None, SimConfig(iterations=1))
+    sim = SimVariant(CompiledCore(cluster, FLAT), None, SimConfig(iterations=1))
     it = summarize_iteration(sim, sim.run_iteration(0))
     assert all(f <= it.makespan + 1e-12 for f in it.worker_finish.values())
 

@@ -6,8 +6,9 @@ import pytest
 from repro.core import Schedule
 from repro.ps import ClusterSpec, build_cluster_graph
 from repro.sim import (
-    CompiledSimulation,
+    CompiledCore,
     SimConfig,
+    SimVariant,
     simulate_cluster,
     simulate_pipelined,
 )
@@ -63,10 +64,7 @@ def test_pipelined_enforcement_exact_per_iteration():
                                   n_iterations=2)
     params = [p.name for p in ir.params]
     schedule = Schedule("layerwise", {p: i for i, p in enumerate(params)})
-    sim = CompiledSimulation(
-        cluster, FLAT, schedule,
-        SimConfig(iterations=1, grpc_reorder_prob=0.0),
-    )
+    sim = SimVariant(CompiledCore(cluster, FLAT), schedule, SimConfig(iterations=1, grpc_reorder_prob=0.0))
     record = sim.run_iteration(0)
     assert record.out_of_order_handoffs == 0
     # channels: one per (link with params, iteration)
@@ -104,10 +102,7 @@ def test_slow_worker_increases_iteration_time_and_straggling():
 
 def test_slowdown_applies_to_named_device_only():
     cluster = build_cluster_graph(tiny_model(), ClusterSpec(2, 1, "training"))
-    sim = CompiledSimulation(
-        cluster, FLAT, None,
-        SimConfig(device_slowdown=(("worker:0", 3.0),)),
-    )
+    sim = SimVariant(CompiledCore(cluster, FLAT), None, SimConfig(device_slowdown=(("worker:0", 3.0),)))
     g = cluster.graph
     for op in g:
         factor = sim.slowdown[op.op_id]
@@ -148,8 +143,7 @@ def test_generous_fabric_is_a_noop():
 
 def test_fabric_load_reported():
     cluster = build_cluster_graph(tiny_model(), ClusterSpec(2, 1, "inference"))
-    sim = CompiledSimulation(cluster, FLAT, None,
-                             SimConfig(iterations=1, fabric_slots=2))
+    sim = SimVariant(CompiledCore(cluster, FLAT), None, SimConfig(iterations=1, fabric_slots=2))
     loads = sim.resource_loads(sim.run_iteration(0))
     assert "fabric" in loads and loads["fabric"] > 0
 

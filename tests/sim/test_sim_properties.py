@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core import Schedule
 from repro.ps import ClusterSpec, build_cluster_graph
-from repro.sim import CompiledSimulation, SimConfig
+from repro.sim import CompiledCore, SimConfig, SimVariant
 
 from ..conftest import tiny_model
 from .test_engine import FLAT
@@ -33,7 +33,7 @@ def schedules(draw):
 def test_invariants_hold_for_any_schedule_and_mode(schedule, mode, seed):
     config = SimConfig(iterations=1, enforcement=mode, seed=seed,
                        grpc_reorder_prob=0.0)
-    sim = CompiledSimulation(_CLUSTER, FLAT, schedule, config)
+    sim = SimVariant(CompiledCore(_CLUSTER, FLAT), schedule, config)
     record = sim.run_iteration(0)
     g = _CLUSTER.graph
     # every op ran, no op before its dependencies
@@ -50,8 +50,7 @@ def test_invariants_hold_for_any_schedule_and_mode(schedule, mode, seed):
 @settings(max_examples=20, deadline=None)
 def test_jitter_never_breaks_completion(sigma, seed):
     config = SimConfig(iterations=1, seed=seed)
-    sim = CompiledSimulation(_CLUSTER, FLAT.scaled(jitter_sigma=sigma),
-                             None, config)
+    sim = SimVariant(CompiledCore(_CLUSTER, FLAT.scaled(jitter_sigma=sigma)), None, config)
     record = sim.run_iteration(seed)
     assert not np.isnan(record.end).any()
     assert record.makespan > 0
