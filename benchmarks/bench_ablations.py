@@ -1,11 +1,10 @@
 """Design-choice ablations (§5.1 enforcement point, comparator erratum,
 TIC variants, oracle quality, gRPC noise, sharding strategy)."""
 
-from repro.experiments import ablations
 
 
-def test_ablations_regeneration(benchmark, ctx):
-    out = benchmark.pedantic(ablations.run, args=(ctx,), rounds=1, iterations=1)
+def test_ablations_regeneration(benchmark, run_scenario):
+    out = benchmark.pedantic(run_scenario, args=("ablations",), rounds=1, iterations=1)
     by = {(r["group"], r["variant"]): r for r in out.rows}
 
     baseline = by[("enforcement", "none (baseline)")]["throughput_sps"]

@@ -5,11 +5,10 @@ the paper's figures (grounded in §6.3's straggler-source framing and §7's
 future-work directions).
 """
 
-from repro.experiments import pipelining, stragglers
 
 
-def test_straggler_decomposition(benchmark, ctx):
-    out = benchmark.pedantic(stragglers.run, args=(ctx,), rounds=1, iterations=1)
+def test_straggler_decomposition(benchmark, run_scenario):
+    out = benchmark.pedantic(run_scenario, args=("stragglers",), rounds=1, iterations=1)
     rows = {(r["slow_worker_factor"], r["algorithm"]): r for r in out.rows}
     # homogeneous cluster: scheduling removes most straggling
     assert rows[(1.0, "tic")]["straggler_pct_max"] < rows[(1.0, "baseline")]["straggler_pct_max"]
@@ -23,8 +22,8 @@ def test_straggler_decomposition(benchmark, ctx):
     print(out.text)
 
 
-def test_pipelining_ablation(benchmark, ctx):
-    out = benchmark.pedantic(pipelining.run, args=(ctx,), rounds=1, iterations=1)
+def test_pipelining_ablation(benchmark, run_scenario):
+    out = benchmark.pedantic(run_scenario, args=("pipelining",), rounds=1, iterations=1)
     rows = {r["algorithm"]: r for r in out.rows}
     for r in rows.values():
         # steady-state spacing stays in the barrier model's neighbourhood

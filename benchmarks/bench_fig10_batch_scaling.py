@@ -1,10 +1,9 @@
 """Fig. 10 — speedup under computational-load (batch-size) scaling."""
 
-from repro.experiments import fig10
 
 
-def test_fig10_regeneration(benchmark, ctx):
-    out = benchmark.pedantic(fig10.run, args=(ctx,), rounds=1, iterations=1)
+def test_fig10_regeneration(benchmark, run_scenario):
+    out = benchmark.pedantic(run_scenario, args=("fig10",), rounds=1, iterations=1)
     factors = {r["batch_factor"] for r in out.rows}
     assert factors == {0.5, 1.0, 2.0}
     # batch scales linearly with the factor

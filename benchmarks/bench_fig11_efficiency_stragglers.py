@@ -2,11 +2,10 @@
 
 import numpy as np
 
-from repro.experiments import fig11
 
 
-def test_fig11_regeneration(benchmark, ctx):
-    out = benchmark.pedantic(fig11.run, args=(ctx,), rounds=1, iterations=1)
+def test_fig11_regeneration(benchmark, run_scenario):
+    out = benchmark.pedantic(run_scenario, args=("fig11",), rounds=1, iterations=1)
     tic = [r for r in out.rows if r["algorithm"] == "tic"]
     base = [r for r in out.rows if r["algorithm"] == "baseline"]
     # (a) E -> 1 under TIC, above the baseline scatter

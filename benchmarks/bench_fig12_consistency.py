@@ -5,11 +5,10 @@ scheduling efficiency; 95th-percentile normalized step time 0.634
 (baseline) vs 0.998 (TAC).
 """
 
-from repro.experiments import fig12
 
 
-def test_fig12_regeneration(benchmark, ctx):
-    out = benchmark.pedantic(fig12.run, args=(ctx,), rounds=1, iterations=1)
+def test_fig12_regeneration(benchmark, run_scenario):
+    out = benchmark.pedantic(run_scenario, args=("fig12",), rounds=1, iterations=1)
     # (a) the metric explains most step-time variance
     assert out.extras["r2"] > 0.85, (
         f"R2 {out.extras['r2']:.3f} too low vs paper's 0.98"

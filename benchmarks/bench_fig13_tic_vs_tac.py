@@ -2,11 +2,10 @@
 
 import numpy as np
 
-from repro.experiments import fig13
 
 
-def test_fig13_regeneration(benchmark, ctx):
-    out = benchmark.pedantic(fig13.run, args=(ctx,), rounds=1, iterations=1)
+def test_fig13_regeneration(benchmark, run_scenario):
+    out = benchmark.pedantic(run_scenario, args=("fig13",), rounds=1, iterations=1)
     tic = np.array([r["tic_speedup_pct"] for r in out.rows])
     tac = np.array([r["tac_speedup_pct"] for r in out.rows])
     # both heuristics beat the baseline on the envC models

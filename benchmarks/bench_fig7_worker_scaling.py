@@ -8,11 +8,10 @@ aggregate, and the documented small-scale overhead tolerance.
 
 import numpy as np
 
-from repro.experiments import fig7
 
 
-def test_fig7_regeneration(benchmark, ctx, results):
-    out = benchmark.pedantic(fig7.run, args=(ctx,), rounds=1, iterations=1)
+def test_fig7_regeneration(benchmark, run_scenario, results):
+    out = benchmark.pedantic(run_scenario, args=("fig7",), rounds=1, iterations=1)
     results["fig7"] = out
     gains = np.array([r["speedup_pct"] for r in out.rows])
     # the sweep must show real wins somewhere and only bounded losses

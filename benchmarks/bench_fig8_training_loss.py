@@ -1,10 +1,9 @@
 """Fig. 8 — loss trajectories with and without enforced ordering."""
 
-from repro.experiments import fig8
 
 
-def test_fig8_regeneration(benchmark, ctx):
-    out = benchmark.pedantic(fig8.run, args=(ctx,), rounds=1, iterations=1)
+def test_fig8_regeneration(benchmark, run_scenario):
+    out = benchmark.pedantic(run_scenario, args=("fig8",), rounds=1, iterations=1)
     assert out.extras["identical"] is True, (
         "enforced ordering must not change the training trajectory"
     )

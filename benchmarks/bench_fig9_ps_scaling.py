@@ -2,11 +2,10 @@
 
 import numpy as np
 
-from repro.experiments import fig9
 
 
-def test_fig9_regeneration(benchmark, ctx):
-    out = benchmark.pedantic(fig9.run, args=(ctx,), rounds=1, iterations=1)
+def test_fig9_regeneration(benchmark, run_scenario):
+    out = benchmark.pedantic(run_scenario, args=("fig9",), rounds=1, iterations=1)
     gains = np.array([r["speedup_pct"] for r in out.rows])
     # ordering keeps paying under multiple PS shards
     assert gains.max() > 5.0

@@ -1,10 +1,9 @@
 """Abstract headline claims: max speedups, worst slowdown, straggler cut."""
 
-from repro.experiments import headline
 
 
-def test_headline_regeneration(benchmark, ctx):
-    out = benchmark.pedantic(headline.run, args=(ctx,), rounds=1, iterations=1)
+def test_headline_regeneration(benchmark, run_scenario):
+    out = benchmark.pedantic(run_scenario, args=("headline",), rounds=1, iterations=1)
     rows = {r["claim"]: r for r in out.rows}
     assert rows["max inference speedup"]["ours_pct"] > 15.0
     assert rows["max training speedup"]["ours_pct"] > 8.0

@@ -5,11 +5,10 @@ order (VGG-16: 493 unique of 1000); ResNet-v2-152 sizes the search space at
 363 tensors / 229.5 MB.
 """
 
-from repro.experiments import motivation
 
 
-def test_motivation_regeneration(benchmark, ctx):
-    out = benchmark.pedantic(motivation.run, args=(ctx,), rounds=1, iterations=1)
+def test_motivation_regeneration(benchmark, run_scenario):
+    out = benchmark.pedantic(run_scenario, args=("motivation",), rounds=1, iterations=1)
     by_model = {r["model"]: r for r in out.rows}
     for model in ("ResNet-50 v2", "Inception v3"):
         row = by_model[model]

@@ -1,11 +1,10 @@
 """Table 1 — model characteristics (regeneration + build cost)."""
 
-from repro.experiments import table1
 from repro.models import build_model, op_counts
 
 
-def test_table1_regeneration(benchmark, ctx):
-    out = benchmark.pedantic(table1.run, args=(ctx,), rounds=1, iterations=1)
+def test_table1_regeneration(benchmark, run_scenario):
+    out = benchmark.pedantic(run_scenario, args=("table1",), rounds=1, iterations=1)
     assert len(out.rows) == 10
     # parity re-asserted on the bench artifact itself
     for row in out.rows:

@@ -19,13 +19,27 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import make_context
+from repro.api import execute_scenario, make_context
 
 
 @pytest.fixture(scope="session")
 def ctx():
     """Shared experiment context for the whole benchmark session."""
     return make_context(verbose=False)
+
+
+@pytest.fixture(scope="session")
+def run_scenario(ctx):
+    """Execute a registry scenario through the repro.api engine and
+    persist its CSVs under ``results/`` — what the deprecated
+    ``experiments.<driver>.run(ctx)`` entries used to do."""
+
+    def run(name: str, **overrides):
+        out = execute_scenario(ctx, name, **overrides)
+        out.save(ctx.results_dir)
+        return out
+
+    return run
 
 
 @pytest.fixture(scope="session")

@@ -1,22 +1,24 @@
 #!/usr/bin/env python
-"""Quickstart: from the paper's toy example to a scheduled cluster.
+"""Quickstart: from the paper's toy example to the public API.
 
 Part 1 rebuilds Figure 1a — a two-transfer DAG where one transfer order
 overlaps communication with computation and the other blocks — and shows
 TIC/TAC picking the good order.
 
-Part 2 runs the full pipeline on a real model: build Inception v1, compute
-a TIC schedule, and simulate a 4-worker/1-PS cloud-GPU cluster with and
-without enforcement.
+Part 2 uses the stable :mod:`repro.api` facade: a ``Session`` owning the
+runner/cache lifecycle runs a registered scenario at a custom scale and
+returns a typed ``ResultSet`` (rows + schema + provenance) — values, not
+side effects. (The old per-driver pattern,
+``repro.experiments.fig7.run(ctx)``, still works but is deprecated.)
+
+Part 3 shows parameter overrides and the scenario registry.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import compute_schedule, scheduling_efficiency, tac, tic
+from repro.api import Scale, Session, scenario_names
+from repro.core import scheduling_efficiency, tac, tic
 from repro.graph import Graph, OpKind, PartitionedGraph, Resource
-from repro.models import build_model
-from repro.ps import ClusterSpec, build_reference_partition
-from repro.sim import SimConfig, simulate_cluster
 from repro.timing import MappingTimeOracle
 
 
@@ -55,30 +57,47 @@ def figure_1a() -> None:
               f"{report.efficiency:.2f} (band U={report.upper:.0f}, L={report.lower:.0f})")
 
 
-def schedule_and_simulate() -> None:
-    """Schedule ResNet-50 serving and simulate a small cloud cluster."""
-    model = "ResNet-50 v1"
-    spec = ClusterSpec(n_workers=4, n_ps=1, workload="inference")
-    config = SimConfig(iterations=5, warmup=1, seed=7)
+#: A tiny scale so the demo finishes in seconds (the built-in "quick"
+#: and "full" scales cover CI and the paper protocol).
+DEMO_SCALE = Scale(
+    name="demo",
+    models=("ResNet-50 v1",),
+    worker_counts=(4,),
+    ps_counts=(1,),
+    iterations=5,
+    warmup=1,
+    consistency_runs=8,
+    loss_iterations=20,
+)
 
-    # The ordering wizard runs offline, on one worker's partition (§5).
-    reference = build_reference_partition(build_model(model), workload="inference", n_ps=1)
-    schedule = compute_schedule(reference, "tic")
-    first = schedule.order()[:3]
-    print(f"\n{model}: TIC computed in {schedule.meta['wizard_seconds']*1e3:.0f} ms; "
-          f"first transfers: {first}")
 
-    base = simulate_cluster(model, spec, algorithm="baseline", config=config)
-    sched = simulate_cluster(model, spec, schedule=schedule, config=config)
-    gain = (sched.throughput - base.throughput) / base.throughput * 100
-    print(f"  baseline : {base.mean_iteration_time*1e3:7.1f} ms/iter, "
-          f"{base.throughput:7.1f} samples/s, straggler {base.max_straggler_pct:4.1f}%")
-    print(f"  TIC      : {sched.mean_iteration_time*1e3:7.1f} ms/iter, "
-          f"{sched.throughput:7.1f} samples/s, straggler {sched.max_straggler_pct:4.1f}%")
-    print(f"  speedup  : {gain:+.1f}% (scheduling efficiency "
-          f"{base.mean_efficiency:.2f} -> {sched.mean_efficiency:.2f})")
+def run_a_scenario() -> None:
+    """The public API: Session -> Scenario -> ResultSet."""
+    with Session(scale=DEMO_SCALE, cache=False) as session:
+        rs = session.run("fig7")  # Fig. 7's grid at our demo scale
+        print(f"\nfig7 at scale 'demo': {len(rs)} rows, schema {rs.schema}")
+        print(rs.to_table())
+        prov = rs.provenance
+        print(f"provenance: engine rev {prov.engine_rev}, kernel "
+              f"{prov.kernel!r}, cache {dict(prov.cache)}, "
+              f"{prov.elapsed_s:.1f}s")
+        # Results are values; persisting them is an explicit step:
+        #   rs.to_csv("results")
+        row = rs.rows[0]
+        assert row["model"] == "ResNet-50 v1" and row["workers"] == 4
+
+
+def override_parameters() -> None:
+    """Scenarios declare parameters callers may rebind per run."""
+    with Session(scale=DEMO_SCALE, cache=False) as session:
+        rs = session.run("stragglers", model="ResNet-50 v1", n_workers=2)
+        tic_rows = [r for r in rs.rows if r["algorithm"] == "tic"]
+        print(f"\nstragglers with n_workers=2: {len(rs)} rows "
+              f"({len(tic_rows)} under TIC)")
+    print(f"registered scenarios: {', '.join(scenario_names())}")
 
 
 if __name__ == "__main__":
     figure_1a()
-    schedule_and_simulate()
+    run_a_scenario()
+    override_parameters()

@@ -20,15 +20,18 @@ Subpackages
     sender-side transfer enforcement (the TensorFlow+gRPC stand-in).
 ``repro.training``
     Numeric data-parallel SGD substrate (Fig. 8's accuracy-preservation).
+``repro.api``
+    The stable public facade: ``Session``/``Scenario``/``ResultSet`` and
+    the declarative scenario registry regenerating every table/figure.
 ``repro.experiments``
-    Drivers regenerating every table and figure of the evaluation.
+    Deprecated driver shims over ``repro.api`` (and the CLI shell).
 ``repro.analysis``
     Statistics helpers (regression, CDFs, summaries) and text rendering.
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__", "schedule_model", "simulate_cluster"]
+__all__ = ["__version__", "Session", "schedule_model", "simulate_cluster"]
 
 
 def __getattr__(name):
@@ -42,4 +45,8 @@ def __getattr__(name):
         from .sim.runner import simulate_cluster
 
         return simulate_cluster
+    if name == "Session":
+        from .api import Session
+
+        return Session
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

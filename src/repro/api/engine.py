@@ -1,0 +1,129 @@
+"""The one generic scenario executor.
+
+Every scenario — paper figure, table, or extension study — runs through
+:func:`execute_scenario`:
+
+1. bind parameters (defaults + caller overrides, validated);
+2. if the scenario declares a :class:`~repro.api.scenario.Grid`, resolve
+   it against the context's scale and sweep it (speedup pairs or plain
+   cells) on the context's shared :class:`~repro.sweep.SweepRunner`;
+3. hand the :class:`ScenarioRun` to the scenario's named analysis
+   callback, which returns the tables/text/extras;
+4. wrap everything in a :class:`~repro.api.resultset.ResultSet` with
+   provenance (engine revision, event-loop kernel, scale, seed, cache
+   hit/miss deltas, wall time).
+
+The legacy per-driver ``run(ctx)`` functions are deprecation shims over
+this function; the CLI is a loop over it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..sim.engine import ENGINE_REV
+from ..sim.kernel import resolve as resolve_kernel
+from ..sim.metrics import SimulationResult
+from ..sweep.runner import Speedup
+from ..sweep.spec import SimCell
+from . import registry
+from .context import Context
+from .resultset import Provenance, Report, ResultSet
+from .scenario import Scenario
+
+
+@dataclass
+class ScenarioRun:
+    """Everything an analysis callback may touch: the execution context
+    (scale, seed, sweep runner, logging), the scenario with its bound
+    parameters, and — for grid scenarios — the resolved cells with their
+    sweep results."""
+
+    ctx: Context
+    scenario: Scenario
+    params: dict
+    cells: list[SimCell] = field(default_factory=list)
+    #: populated when ``grid.compare_baseline`` (one per cell) ...
+    speedups: Optional[list[Speedup]] = None
+    #: ... or plain results otherwise (also one per cell).
+    results: Optional[list[SimulationResult]] = None
+
+    @property
+    def scale(self):
+        return self.ctx.scale
+
+    @property
+    def sweep(self):
+        return self.ctx.sweep
+
+    @property
+    def seed(self) -> int:
+        return self.ctx.seed
+
+    def sim_config(self, **overrides):
+        return self.ctx.sim_config(**overrides)
+
+    def log(self, message: str) -> None:
+        self.ctx.log(message)
+
+    def param(self, name: str):
+        return self.params[name]
+
+
+def execute_scenario(
+    ctx: Context, scenario: Union[str, Scenario], /, **overrides
+) -> ResultSet:
+    """Run one scenario against ``ctx`` and return its ResultSet (no CSV
+    is written — call :meth:`~repro.api.resultset.ResultSet.to_csv` /
+    ``save`` for that)."""
+    if isinstance(scenario, str):
+        scenario = registry.scenario(scenario)
+    t0 = time.perf_counter()
+    params = scenario.bind(**overrides)
+    stats_before = ctx.sweep.stats.as_dict()
+
+    run = ScenarioRun(ctx=ctx, scenario=scenario, params=params)
+    if scenario.grid is not None:
+        run.cells = scenario.grid.resolve(ctx.scale, params, ctx.sim_config)
+        if scenario.grid.compare_baseline:
+            run.speedups = ctx.sweep.run_speedups(run.cells)
+        else:
+            run.results = ctx.sweep.run_cells(run.cells)
+
+    report: Report = registry.analysis(scenario.analyze)(run)
+
+    stats_after = ctx.sweep.stats.as_dict()
+    # Resolve the kernel the run's SimConfigs actually selected: grid
+    # scenarios carry it on their cells (a sim=(('kernel', ...),) override
+    # is honoured); callback-built cells share ctx.sim_config's default.
+    configured_kernel = (
+        run.cells[0].config.kernel if run.cells else ctx.sim_config().kernel
+    )
+    provenance = Provenance(
+        scenario=scenario.name,
+        scale=ctx.scale.name,
+        seed=ctx.seed,
+        jobs=ctx.jobs,
+        engine_rev=ENGINE_REV,
+        kernel=resolve_kernel(configured_kernel),
+        backends=scenario.backends,
+        cache={k: stats_after[k] - stats_before[k] for k in stats_after},
+        elapsed_s=time.perf_counter() - t0,
+    )
+    result = ResultSet(
+        name=scenario.output,
+        scenario=scenario,
+        rows=report.rows,
+        text=report.text,
+        tables=dict(report.tables),
+        extras=dict(report.extras),
+        provenance=provenance,
+    )
+    ctx.log(report.text)
+    ctx.log(
+        f"[{scenario.output}] {len(result.rows)} rows "
+        f"({provenance.elapsed_s:.1f}s)"
+    )
+    return result

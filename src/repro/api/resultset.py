@@ -1,0 +1,154 @@
+"""Typed results: scenario runs return values, not side effects.
+
+A :class:`ResultSet` bundles a scenario run's primary table, any
+auxiliary tables (e.g. the all-reduce wire check), the rendered text
+report, free-form extras, and :class:`Provenance` — which engine
+revision, event-loop kernel, scale and cache behaviour produced the
+numbers. Writing CSVs is an explicit, separate step
+(:meth:`ResultSet.to_csv` / :meth:`ResultSet.save`), so embedders can
+consume rows directly and the CLI remains a thin persistence shell.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+from ..analysis import format_table, write_csv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scenario import Scenario
+
+Rows = list[dict]
+
+
+@dataclass
+class Report:
+    """What an analysis callback hands back to the engine: the primary
+    table's rows, the rendered text, optional auxiliary tables (name ->
+    rows; each becomes ``<name>.csv`` on save) and free-form extras."""
+
+    rows: Rows
+    text: str
+    tables: dict[str, Rows] = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a :class:`ResultSet`'s numbers came from."""
+
+    scenario: str
+    scale: str
+    seed: int
+    jobs: int
+    engine_rev: int
+    kernel: str
+    backends: tuple[str, ...]
+    #: sweep-cache activity during this run: hits/misses/writes deltas.
+    cache: Mapping[str, int]
+    elapsed_s: float
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "scale": self.scale,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "engine_rev": self.engine_rev,
+            "kernel": self.kernel,
+            "backends": list(self.backends),
+            "cache": dict(self.cache),
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def _columns(rows: Sequence[Mapping[str, object]]) -> tuple[str, ...]:
+    cols: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in cols:
+                cols.append(key)
+    return tuple(cols)
+
+
+@dataclass
+class ResultSet:
+    """The value returned by :meth:`repro.api.Session.run`."""
+
+    #: primary output stem — ``to_csv`` writes ``<name>.csv``.
+    name: str
+    scenario: "Scenario"
+    rows: Rows
+    text: str
+    tables: dict[str, Rows] = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+    provenance: Optional[Provenance] = None
+
+    @property
+    def schema(self) -> tuple[str, ...]:
+        """Column names of the primary table, in first-seen order (the
+        order ``to_csv`` writes them)."""
+        return _columns(self.rows)
+
+    def table_names(self) -> tuple[str, ...]:
+        return (self.name, *self.tables)
+
+    def _rows_for(self, table: Optional[str]) -> Rows:
+        if table is None or table == self.name:
+            return self.rows
+        try:
+            return self.tables[table]
+        except KeyError:
+            raise KeyError(
+                f"no table {table!r} in this result set; "
+                f"available: {list(self.table_names())}"
+            ) from None
+
+    def to_csv(self, results_dir: str = "results") -> dict[str, str]:
+        """Write every table under ``results_dir`` (primary first), byte-
+        identical to the legacy driver output. Returns stem -> path."""
+        paths = {
+            self.name: write_csv(
+                os.path.join(results_dir, f"{self.name}.csv"), self.rows
+            )
+        }
+        for name, rows in self.tables.items():
+            paths[name] = write_csv(
+                os.path.join(results_dir, f"{name}.csv"), rows
+            )
+        return paths
+
+    def save(self, results_dir: str = "results") -> dict[str, str]:
+        """``to_csv`` plus the scenario's declared extras aliases: tables
+        named in ``Scenario.extras_csv`` get their written path recorded
+        under the legacy extras key (e.g. ``wire_check_csv``), which the
+        deprecated driver shims and their callers rely on."""
+        paths = self.to_csv(results_dir)
+        for key, table in self.scenario.extras_csv:
+            self.extras[key] = paths[table]
+        return paths
+
+    def to_table(self, table: Optional[str] = None, **kwargs) -> str:
+        """Render one table (default: primary) as aligned monospace text."""
+        return format_table(self._rows_for(table), **kwargs)
+
+    def frame(self, table: Optional[str] = None):
+        """Columnar view of one table: a pandas ``DataFrame`` when pandas
+        is importable, otherwise a plain ``{column: [values...]}`` dict
+        (this repo deliberately has no hard pandas dependency)."""
+        rows = self._rows_for(table)
+        try:  # pragma: no cover - pandas is not in the pinned test env
+            import pandas
+
+            return pandas.DataFrame(rows)
+        except ImportError:
+            cols = _columns(rows)
+            return {c: [row.get(c) for row in rows] for c in cols}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text

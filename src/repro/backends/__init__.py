@@ -30,6 +30,8 @@ directly via their backend's ``build_graph``.
 
 from __future__ import annotations
 
+import dataclasses
+import inspect
 from dataclasses import dataclass
 from typing import Callable
 
@@ -135,6 +137,43 @@ def backends() -> dict[str, CommBackend]:
     """Registered backends by name."""
     _ensure_defaults()
     return dict(_BACKENDS)
+
+
+def spec_fields(spec_type: type) -> tuple[str, ...]:
+    """The constructor fields a backend's spec type accepts (for error
+    messages and introspection; dataclass specs report their fields,
+    anything else its ``__init__`` signature)."""
+    if dataclasses.is_dataclass(spec_type):
+        return tuple(f.name for f in dataclasses.fields(spec_type))
+    params = inspect.signature(spec_type).parameters
+    return tuple(name for name in params if name != "self")
+
+
+def make_spec(backend: str, **kwargs):
+    """Construct a cluster spec for a communication backend by name.
+
+    Callers build cluster shapes through this helper so scenario and
+    experiment code names backends ('ps', 'allreduce', ...), not spec
+    classes. Unknown backend names raise ``KeyError`` listing the
+    registered backends; invalid constructor arguments raise ``TypeError``
+    naming the spec type's accepted fields (instead of letting the raw
+    constructor error escape without that context).
+    """
+    registry = backends()
+    try:
+        ctor = registry[backend].spec_type
+    except KeyError:
+        raise KeyError(
+            f"unknown communication backend {backend!r}; "
+            f"available: {sorted(registry)}"
+        ) from None
+    try:
+        return ctor(**kwargs)
+    except TypeError as exc:
+        raise TypeError(
+            f"invalid arguments for backend {backend!r}: {exc}; "
+            f"{ctor.__name__} accepts fields {list(spec_fields(ctor))}"
+        ) from None
 
 
 def backend_for_spec(spec) -> CommBackend:

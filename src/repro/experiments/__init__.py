@@ -1,4 +1,23 @@
-"""Experiment drivers: one module per table/figure of the evaluation."""
+"""Experiment drivers — deprecated shims over :mod:`repro.api`.
+
+.. deprecated::
+    The driver-function pattern (``repro.experiments.fig7.run(ctx)`` and
+    friends, one hand-written module per table/figure) is deprecated.
+    Scenarios are now declarative data in the :mod:`repro.api` registry,
+    executed by one generic engine::
+
+        from repro.api import Session
+
+        with Session(scale="quick") as session:
+            rs = session.run("fig7")
+            rs.to_csv("results")
+
+    Every ``run(Context)`` entry point still works — it executes the same
+    scenario through the same engine and writes the same CSVs — but emits
+    a ``DeprecationWarning``. The shared infrastructure re-exported here
+    (``Context``, ``Scale``, ``make_context``, ...) now lives in
+    :mod:`repro.api.context`.
+"""
 
 from .common import (
     FIG7_MODELS,

@@ -1,0 +1,41 @@
+"""Deprecation shims bridging the legacy driver API onto ``repro.api``.
+
+Every ``repro.experiments.<driver>.run(ctx)`` function is now a thin
+wrapper over the scenario registry: it warns ``DeprecationWarning``,
+executes the named scenario through the one generic engine, writes the
+same CSVs to ``ctx.results_dir`` and adapts the
+:class:`~repro.api.resultset.ResultSet` back into the legacy
+:class:`~repro.experiments.common.ExperimentOutput` shape (including the
+extras path aliases, e.g. the all-reduce driver's ``wire_check_csv``).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from ..api.engine import execute_scenario
+from ..api.registry import scenario
+from .common import Context, ExperimentOutput
+
+
+def run_scenario_shim(name: str, ctx: Context, overrides: dict) -> ExperimentOutput:
+    """Execute scenario ``name`` for a deprecated ``run(ctx)`` entry."""
+    warnings.warn(
+        f"repro.experiments.{name}.run() is deprecated; use "
+        f"repro.api.Session(...).run({name!r}) (or "
+        f"repro.api.execute_scenario) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    result = execute_scenario(ctx, scenario(name), **overrides)
+    paths = result.save(ctx.results_dir)
+    csv_path = paths[result.name]
+    ctx.log(f"[{result.name}] csv -> {csv_path}")
+    return ExperimentOutput(
+        name=result.name,
+        rows=list(result.rows),
+        text=result.text,
+        csv_path=csv_path,
+        extras=dict(result.extras),
+        elapsed_s=result.provenance.elapsed_s,
+    )

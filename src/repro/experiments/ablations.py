@@ -1,160 +1,22 @@
-"""Ablations beyond the paper's figures — the design choices §5.1 argues
-for in prose, made measurable:
+"""Ablations beyond the paper's figures (§5.1 design choices).
 
-* **enforcement point** — sender-side counters (deployed) vs the idealized
-  ready-queue semantics vs DAG-dependency chaining (the strawman §5.1
-  rejects because it forfeits pipelining) vs no enforcement;
-* **comparator erratum** — Eq. 6 vs Algorithm 3's comparator as printed
-  (inverted; see :mod:`repro.core.comparator`);
-* **TIC vs TIC+** — single-shot Algorithm 2 vs the iterative
-  timing-independent variant;
-* **oracle quality** — TAC under the min-of-5 estimated oracle vs the
-  exact oracle vs a heavily perturbed one;
-* **gRPC reorder noise** — sensitivity of gains to residual reordering;
-* **sharding strategy** — greedy-by-bytes vs round-robin placement.
-
-Plain-grid variants run as sweep cells; the custom-schedule variants
-(comparator/oracle studies need a hand-built :class:`Schedule`) run as
-sweep tasks. Both kinds cache and parallelize like any other sweep unit.
+.. deprecated:: use ``repro.api.Session(...).run("ablations")``; this
+   module is a shim over the scenario registry
+   (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-
-from ..core.comparator import precedes_as_printed
-from ..core.tac import tac
-from ..ps import ClusterSpec, build_reference_partition
-from ..models import build_model
-from ..sim import SimConfig, simulate_cluster
-from ..sweep import FnTask, SimCell
-from ..timing import ENV_G, PerturbedOracle, estimate_time_oracle
-from .common import Context, ExperimentOutput, finish, render_rows
-
-MODEL = "ResNet-50 v1"
-WORKERS, PS = 4, 1
-
-def custom_schedule_throughputs(seed: int, iterations: int, warmup: int) -> dict:
-    """Throughput of every hand-scheduled variant (one sweep task: the
-    model, reference partition and traced oracle are shared across the
-    four tac() invocations, as the comparator/oracle study intends)."""
-    ir = build_model(MODEL)
-    spec = ClusterSpec(n_workers=WORKERS, n_ps=PS, workload="training")
-    reference = build_reference_partition(ir, workload="training", n_ps=PS)
-    oracle = estimate_time_oracle(reference.graph, ENV_G, seed=seed)
-    schedules = {
-        "tac_eq6": tac(reference.graph, oracle),
-        "tac_as_printed": tac(
-            reference.graph, oracle, comparator=precedes_as_printed,
-            algorithm_name="tac_as_printed",
-        ),
-        "tac_exact": tac(
-            reference.graph, ENV_G.oracle(), algorithm_name="tac_exact"
-        ),
-        "tac_noisy": tac(
-            reference.graph, PerturbedOracle(oracle, sigma=1.0, seed=seed),
-            algorithm_name="tac_noisy",
-        ),
-    }
-    cfg = SimConfig(seed=seed, iterations=iterations, warmup=warmup)
-    return {
-        variant: float(
-            simulate_cluster(
-                ir, spec, schedule=schedule, platform="envG", config=cfg
-            ).throughput
-        )
-        for variant, schedule in schedules.items()
-    }
+from ..api.scenarios import (  # noqa: F401 — legacy re-exports
+    custom_schedule_throughputs,
+)
+from ..api.scenarios import ABLATION_MODEL as MODEL  # noqa: F401
+from ..api.scenarios import ABLATION_PS as PS  # noqa: F401
+from ..api.scenarios import ABLATION_WORKERS as WORKERS  # noqa: F401
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def run(ctx: Context) -> ExperimentOutput:
-    t0 = time.perf_counter()
-    spec = ClusterSpec(n_workers=WORKERS, n_ps=PS, workload="training")
-    cfg = ctx.sim_config()
-
-    def cell(algorithm: str = "tic", *, spec=spec, config=cfg) -> SimCell:
-        return SimCell(
-            model=MODEL, spec=spec, algorithm=algorithm,
-            platform="envG", config=config,
-        )
-
-    # --- grid-shaped variants: one batch of cells -----------------------
-    enforcement_modes = ("sender", "ready_queue", "dag")
-    noise_probs = (0.0, 0.005, 0.05)
-    sharding_strategies = ("greedy", "round_robin")
-    cells = [cell("baseline")]
-    cells += [
-        cell(config=cfg.with_(enforcement=mode)) for mode in enforcement_modes
-    ]
-    cells += [cell(algo) for algo in ("tic", "tic_plus")]
-    cells += [
-        cell(config=cfg.with_(grpc_reorder_prob=prob)) for prob in noise_probs
-    ]
-    cells += [
-        cell(spec=ClusterSpec(n_workers=WORKERS, n_ps=2, workload="training",
-                              sharding=strategy))
-        for strategy in sharding_strategies
-    ]
-    results = iter(ctx.sweep.run_cells(cells))
-
-    # --- custom-schedule variants: one shared-build task ----------------
-    custom_tps, = ctx.sweep.run_tasks(
-        [
-            FnTask.make(
-                custom_schedule_throughputs, seed=ctx.seed,
-                iterations=cfg.iterations, warmup=cfg.warmup,
-            )
-        ]
-    )
-    # 'estimated (min of 5)' re-reports tac_eq6 (it is the same schedule).
-    task_order = ("tac_eq6", "tac_as_printed", "tac_eq6", "tac_exact", "tac_noisy")
-    throughputs = iter(custom_tps[v] for v in task_order)
-
-    rows = []
-    base_tp = next(results).throughput
-
-    def add(group: str, variant: str, tp: float) -> None:
-        rows.append(
-            {
-                "group": group,
-                "variant": variant,
-                "throughput_sps": round(tp, 1),
-                "vs_baseline_pct": round((tp - base_tp) / base_tp * 100, 1),
-            }
-        )
-
-    add("enforcement", "none (baseline)", base_tp)
-    for mode in enforcement_modes:
-        add("enforcement", mode, next(results).throughput)
-
-    tic_tp, tic_plus_tp = (next(results).throughput for _ in range(2))
-    noise_tps = [next(results).throughput for _ in noise_probs]
-    sharding_tps = [next(results).throughput for _ in sharding_strategies]
-
-    add("comparator", "tac (Eq. 6)", next(throughputs))
-    add("comparator", "tac (as printed)", next(throughputs))
-
-    add("tic_variant", "tic", tic_tp)
-    add("tic_variant", "tic_plus", tic_plus_tp)
-
-    add("oracle", "estimated (min of 5)", next(throughputs))
-    add("oracle", "exact", next(throughputs))
-    add("oracle", "perturbed (sigma=1.0)", next(throughputs))
-
-    for prob, tp in zip(noise_probs, noise_tps):
-        add("grpc_noise", f"p={prob}", tp)
-
-    for strategy, tp in zip(sharding_strategies, sharding_tps):
-        rows.append(
-            {
-                "group": "sharding",
-                "variant": strategy,
-                "throughput_sps": round(tp, 1),
-                "vs_baseline_pct": float("nan"),
-            }
-        )
-
-    text = render_rows(
-        rows, f"Ablations ({MODEL}, training, {WORKERS} workers, envG)"
-    )
-    return finish(ctx, "ablations", rows, text, t0=t0)
+    """Deprecated: equivalent to ``Session.run("ablations")``."""
+    return run_scenario_shim("ablations", ctx, {})

@@ -1,223 +1,38 @@
 """Collective backend evaluation: all-reduce topologies under TIC/TAC.
 
-The paper schedules PS transfers; this driver extends the question to the
-dominant deployment today — collective data-parallel training — using the
-:mod:`repro.collectives` backend:
-
-* **grid** — {ring, hierarchical} x {baseline, TIC, TAC} x partition
-  size x worker count, for every model of the scale, on envG. Reports
-  per-cell iteration time/throughput and each scheduler's gain over the
-  unscheduled baseline (``results/allreduce_comparison.csv``).
-* **wire check** — for every (model, W), a ring cell on the diagnostic
-  ``wire`` platform (free compute, zero latency/jitter), whose makespan
-  must sit on the analytic ring bound ``2(W-1)/W * M/B``
-  (``results/allreduce_wire_check.csv``; the collectives tests assert the
-  <=5% tolerance).
-* **PS vs all-reduce headline** — for every model at the largest swept
-  worker count, TAC-scheduled PS (Fig. 7's 1:4 provisioning) against
-  TAC-scheduled ring all-reduce at the best partition size
-  (``results/allreduce_vs_ps.csv``).
-
-Quick scale trims to 3 models, W in {2, 4} and two partition sizes; full
-scale runs every model, W up to 16 and three partition sizes.
+.. deprecated:: use ``repro.api.Session(...).run("allreduce")``; this
+   module is a shim over the scenario registry
+   (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-
-from ..models import build_model
-from ..sweep.spec import SimCell
-from ..timing import get_platform
-from .common import (
-    Context,
-    ExperimentOutput,
-    finish,
-    make_spec,
-    ps_for_workers,
-    render_rows,
-    write_csv,
+from ..api.scenarios import (  # noqa: F401 — legacy re-exports
+    MIB,
+    PARTITIONS_FULL,
+    PARTITIONS_QUICK,
+    TOPOLOGIES,
+    allreduce_axes,
+    allreduce_grid_cells,
 )
-
-TOPOLOGIES = ("ring", "hierarchical")
-ALGORITHMS = ("baseline", "tic", "tac")
-
-MIB = 2**20
-PARTITIONS_QUICK = (4 * MIB, 16 * MIB)
-PARTITIONS_FULL = (1 * MIB, 4 * MIB, 16 * MIB)
+from ..api.scenarios import ALLREDUCE_ALGORITHMS as ALGORITHMS  # noqa: F401
+from ..sweep.spec import SimCell
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def axes(ctx: Context) -> tuple[tuple[str, ...], tuple[int, ...], tuple[int, ...]]:
-    """(models, worker counts, partition sizes) for the context's scale."""
-    scale = ctx.scale
-    if scale.name == "full":
-        workers = tuple(w for w in scale.worker_counts if w >= 2)
-        return scale.models, workers, PARTITIONS_FULL
-    workers = tuple(w for w in scale.worker_counts if 2 <= w <= 4) or (2,)
-    return scale.models[:3], workers, PARTITIONS_QUICK
+    """(models, worker counts, partition sizes) for the context's scale
+    (legacy signature over :func:`repro.api.scenarios.allreduce_axes`)."""
+    return allreduce_axes(ctx.scale)
 
 
 def grid_cells(ctx: Context) -> list[SimCell]:
-    """The driver's main evaluation grid, in deterministic row order."""
-    models, workers, partitions = axes(ctx)
-    cfg = ctx.sim_config()
-    cells = []
-    for model in models:
-        for topology in TOPOLOGIES:
-            for n_workers in workers:
-                for partition in partitions:
-                    spec = make_spec(
-                        "allreduce",
-                        n_workers=n_workers,
-                        topology=topology,
-                        partition_bytes=partition,
-                    )
-                    for algorithm in ALGORITHMS:
-                        cells.append(
-                            SimCell(
-                                model=model,
-                                spec=spec,
-                                algorithm=algorithm,
-                                platform="envG",
-                                config=cfg,
-                            )
-                        )
-    return cells
+    """The main evaluation grid, in deterministic row order (legacy
+    signature over :func:`repro.api.scenarios.allreduce_grid_cells`)."""
+    return allreduce_grid_cells(ctx.scale, ctx.sim_config())
 
 
 def run(ctx: Context) -> ExperimentOutput:
-    t0 = time.perf_counter()
-    models, workers, partitions = axes(ctx)
-
-    # --- main grid ----------------------------------------------------
-    cells = grid_cells(ctx)
-    results = ctx.sweep.run_cells(cells)
-    by_cell = dict(zip(cells, results))
-    rows = []
-    for cell, res in zip(cells, results):
-        base = by_cell[cell.with_(algorithm="baseline")]
-        gain = (res.throughput - base.throughput) / base.throughput * 100.0
-        rows.append(
-            {
-                "model": cell.model,
-                "topology": cell.spec.topology,
-                "workers": cell.spec.n_workers,
-                "partition_mib": cell.spec.partition_bytes // MIB,
-                "algorithm": cell.algorithm,
-                "iteration_time_s": round(res.mean_iteration_time, 6),
-                "throughput_sps": round(res.throughput, 1),
-                "speedup_pct": round(gain, 2),
-                "efficiency_mean": round(res.mean_efficiency, 4),
-            }
-        )
-        if cell.algorithm != "baseline":
-            ctx.log(
-                f"  allreduce {cell.model} {cell.spec.topology} "
-                f"w{cell.spec.n_workers} p{cell.spec.partition_bytes // MIB}MiB "
-                f"{cell.algorithm}: {gain:+.1f}%"
-            )
-
-    # --- analytic ring wire check ------------------------------------
-    wire = get_platform("wire")
-    wire_cfg = ctx.sim_config(iterations=2, warmup=0)
-    wire_cells = [
-        SimCell(
-            model=model,
-            spec=make_spec(
-                "allreduce",
-                n_workers=w,
-                topology="ring",
-                partition_bytes=partitions[0],
-            ),
-            algorithm="baseline",
-            platform="wire",
-            config=wire_cfg,
-        )
-        for model in models
-        for w in workers
-    ]
-    model_bytes = {m: build_model(m).total_param_bytes for m in models}
-    wire_rows = []
-    for cell, res in zip(wire_cells, ctx.sweep.run_cells(wire_cells)):
-        w = cell.spec.n_workers
-        bound = 2 * (w - 1) / w * model_bytes[cell.model] / wire.bandwidth_bps
-        wire_rows.append(
-            {
-                "model": cell.model,
-                "workers": w,
-                "analytic_s": round(bound, 6),
-                "simulated_s": round(res.mean_iteration_time, 6),
-                "ratio": round(res.mean_iteration_time / bound, 4),
-            }
-        )
-    wire_csv = write_csv(
-        f"{ctx.results_dir}/allreduce_wire_check.csv", wire_rows
-    )
-
-    # --- PS vs all-reduce headline ------------------------------------
-    w_head = max(workers)
-    vs_rows = []
-    ps_cells = [
-        SimCell(
-            model=model,
-            spec=make_spec("ps", n_workers=w_head, n_ps=ps_for_workers(w_head)),
-            algorithm="tac",
-            platform="envG",
-            config=ctx.sim_config(),
-        )
-        for model in models
-    ]
-    for model, ps_res in zip(models, ctx.sweep.run_cells(ps_cells)):
-        ring_tac = [
-            r
-            for r in rows
-            if r["model"] == model
-            and r["topology"] == "ring"
-            and r["workers"] == w_head
-            and r["algorithm"] == "tac"
-        ]
-        best = min(ring_tac, key=lambda r: r["iteration_time_s"])
-        delta = (
-            (ps_res.mean_iteration_time - best["iteration_time_s"])
-            / ps_res.mean_iteration_time
-            * 100.0
-        )
-        vs_rows.append(
-            {
-                "model": model,
-                "workers": w_head,
-                "ps_tac_s": round(ps_res.mean_iteration_time, 6),
-                "allreduce_tac_s": best["iteration_time_s"],
-                "best_partition_mib": best["partition_mib"],
-                "allreduce_faster_pct": round(delta, 1),
-            }
-        )
-    vs_csv = write_csv(f"{ctx.results_dir}/allreduce_vs_ps.csv", vs_rows)
-
-    text = "\n\n".join(
-        [
-            render_rows(
-                rows,
-                "All-reduce backend: {ring, hierarchical} x {baseline, TIC, "
-                "TAC} x partition x workers (envG)",
-            ),
-            render_rows(
-                wire_rows,
-                "Ring wire check: simulated vs analytic 2(W-1)/W * M/B "
-                "(wire platform)",
-            ),
-            render_rows(
-                vs_rows,
-                f"PS (TAC, 1:4 provisioning) vs ring all-reduce (TAC), "
-                f"W={w_head} (envG)",
-            ),
-        ]
-    )
-    return finish(
-        ctx,
-        "allreduce_comparison",
-        rows,
-        text,
-        t0=t0,
-        extras={"wire_check_csv": wire_csv, "vs_ps_csv": vs_csv},
-    )
+    """Deprecated: equivalent to ``Session.run("allreduce")``."""
+    return run_scenario_shim("allreduce", ctx, {})

@@ -1,8 +1,13 @@
 """Command-line entry point: regenerate any table/figure of the paper.
 
+A thin shell over the :mod:`repro.api` scenario registry — scenarios are
+data, execution is the one generic engine, and this module only parses
+flags, loops, and persists CSVs.
+
 Usage::
 
-    python -m repro.experiments table1 fig7 fig12      # selected drivers
+    tictac-repro list                                  # what can run
+    python -m repro.experiments table1 fig7 fig12      # selected scenarios
     python -m repro.experiments all --full             # the whole paper
     tictac-repro fig13 --results-dir out/              # console script
 """
@@ -11,61 +16,44 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
-from . import (
-    ablations,
-    allreduce,
-    fig7,
-    fig8,
-    fig9,
-    fig10,
-    fig11,
-    fig12,
-    fig13,
-    headline,
-    motivation,
-    pipelining,
-    stragglers,
-    table1,
+from ..api.context import make_context
+from ..api.engine import execute_scenario
+from ..api.registry import (
+    UnknownScenarioError,
+    iter_scenarios,
+    scenario,
+    scenario_names,
 )
-from .common import Context, ExperimentOutput, make_context
 
-DRIVERS: dict[str, Callable[[Context], ExperimentOutput]] = {
-    "table1": table1.run,
-    "motivation": motivation.run,
-    "fig7": fig7.run,
-    "fig8": fig8.run,
-    "fig9": fig9.run,
-    "fig10": fig10.run,
-    "fig11": fig11.run,
-    "fig12": fig12.run,
-    "fig13": fig13.run,
-    "headline": headline.run,
-    "ablations": ablations.run,
-    "stragglers": stragglers.run,
-    "pipelining": pipelining.run,
-    "allreduce": allreduce.run,
-}
 
-#: 'all' runs everything in the paper's presentation order, then the
-#: beyond-the-paper extension drivers.
-ORDER = (
-    "table1",
-    "motivation",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "fig12",
-    "fig13",
-    "headline",
-    "ablations",
-    "stragglers",
-    "pipelining",
-    "allreduce",
-)
+def print_listing() -> None:
+    """``tictac-repro list``: scenarios, backends, engine kernels."""
+    from ..backends import backends, spec_fields
+    from ..sim.kernel import HAVE_NUMBA, KERNELS, resolve
+    from ..timing import PLATFORMS
+
+    print("scenarios (presentation order):")
+    for sc in iter_scenarios():
+        kind = "grid" if sc.grid is not None else "custom"
+        aux = f" +{len(sc.aux_outputs)} aux" if sc.aux_outputs else ""
+        print(f"  {sc.name:<12} {sc.title}")
+        print(f"  {'':<12} [{kind} -> {sc.output}.csv{aux}]")
+    print("\ncommunication backends:")
+    for name, backend in sorted(backends().items()):
+        fields = ", ".join(spec_fields(backend.spec_type))
+        print(f"  {name:<12} {backend.spec_type.__name__}({fields})")
+    print("\nengine kernels:")
+    for name in KERNELS:
+        if name == "auto":
+            note = f"-> {resolve('auto')}"
+        elif name == "numba" and not HAVE_NUMBA:
+            note = "unavailable (pip install 'tictac-repro[fast]')"
+        else:
+            note = "available"
+        print(f"  {name:<12} {note}")
+    print("\nplatforms: " + ", ".join(sorted(PLATFORMS)))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -76,9 +64,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        metavar="EXPERIMENT",
-        help="which drivers to run ('all' for every table/figure): "
-        + ", ".join(sorted(DRIVERS)),
+        metavar="SCENARIO",
+        help="which scenarios to run ('all' for every table/figure, "
+        "'list' to enumerate scenarios/backends/kernels): "
+        + ", ".join(scenario_names()),
     )
     scale = parser.add_mutually_exclusive_group()
     scale.add_argument("--full", action="store_true",
@@ -104,14 +93,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         " or $REPRO_CACHE_MAX_MB, or 0 to empty); may be used "
                         "without naming any experiment")
     args = parser.parse_args(argv)
+    if "list" in args.experiments:
+        if len(args.experiments) > 1:
+            parser.error("'list' cannot be combined with scenario names")
+        print_listing()
+        return 0
     if not args.experiments and not args.cache_gc:
-        parser.error("name at least one experiment (or use --cache-gc)")
-    unknown = [e for e in args.experiments if e != "all" and e not in DRIVERS]
-    if unknown:
-        parser.error(
-            f"unknown experiment(s) {unknown}; "
-            f"choose from {', '.join(sorted(DRIVERS))}, all"
-        )
+        parser.error("name at least one scenario (or use 'list'/--cache-gc)")
+    # fail fast on every named scenario (even alongside 'all'), with
+    # near-match suggestions
+    for name in args.experiments:
+        if name == "all":
+            continue
+        try:
+            scenario(name)
+        except UnknownScenarioError as exc:
+            parser.error(str(exc))
+    names = (
+        list(scenario_names())
+        if "all" in args.experiments
+        else list(args.experiments)
+    )
 
     full = True if args.full else (False if args.quick else None)
     ctx = make_context(
@@ -125,11 +127,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         **({"cache_max_mb": args.cache_max_mb}
            if args.cache_max_mb is not None else {}),
     )
-    names = list(ORDER) if "all" in args.experiments else args.experiments
     try:
         for name in names:
             ctx.log(f"=== {name} (scale={ctx.scale.name}, jobs={ctx.jobs}) ===")
-            DRIVERS[name](ctx)
+            result = execute_scenario(ctx, scenario(name))
+            paths = result.save(ctx.results_dir)
+            ctx.log(f"[{result.name}] csv -> {paths[result.name]}")
         if names and ctx.use_cache:
             ctx.log(f"sweep cache: {ctx.sweep.stats.as_dict()}")
         if args.cache_gc and ctx.cache_max_mb is None:

@@ -1,49 +1,18 @@
 """Fig. 10 — speedup vs. computational load (batch-size factor).
 
-Each model runs at its standard batch size scaled by x0.5 / x1 / x2
-(envG, 4 workers, inference — the paper's Fig. 10 setting). Scaling batch
-size moves the communication/computation ratio: when communication
-dominates, a bigger batch increases overlap opportunity and scheduling
-gains; when computation already dominates, gains shrink.
+.. deprecated:: use ``repro.api.Session(...).run("fig10")``; this module
+   is a shim over the scenario registry (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-
-from ..sweep import GridSpec
-from .common import Context, ExperimentOutput, finish, render_rows
-
-BATCH_FACTORS = (0.5, 1.0, 2.0)
+from ..api.scenarios import BATCH_FACTORS  # noqa: F401 — legacy re-export
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def run(ctx: Context, *, algorithm: str = "tic", n_workers: int = 4) -> ExperimentOutput:
-    t0 = time.perf_counter()
-    cells = GridSpec(
-        models=ctx.scale.models,
-        workloads=("inference",),
-        worker_counts=(n_workers,),
-        ps_counts=(1,),
-        algorithms=(algorithm,),
-        platforms=("envG",),
-        batch_factors=BATCH_FACTORS,
-    ).cells(ctx.sim_config())
-    rows = []
-    for cell, (gain, sched, base) in zip(cells, ctx.sweep.run_speedups(cells)):
-        rows.append(
-            {
-                "model": cell.model,
-                "batch_factor": cell.batch_factor,
-                "batch": sched.batch_size,
-                "baseline_sps": round(base.throughput, 1),
-                f"{algorithm}_sps": round(sched.throughput, 1),
-                "speedup_pct": round(gain, 1),
-            }
-        )
-        ctx.log(f"  fig10 {cell.model} x{cell.batch_factor}: {gain:+.1f}%")
-    text = render_rows(
-        rows,
-        f"Fig. 10: speedup of {algorithm.upper()} vs baseline under batch-size "
-        f"scaling (envG, {n_workers} workers, inference)",
+    """Deprecated: equivalent to ``Session.run("fig10", ...)``."""
+    return run_scenario_shim(
+        "fig10", ctx, {"algorithm": algorithm, "n_workers": n_workers}
     )
-    return finish(ctx, "fig10_batch_scaling", rows, text, t0=t0)

@@ -1,86 +1,16 @@
 """Fig. 11 — scheduling efficiency and straggler effect vs. model size.
 
-Samples every (model, workload) pair in envG with and without TIC and
-plots (a) the Eq. 3 efficiency metric and (b) straggler time percentage
-against the number of ops per worker.
-
-Shape targets: with TIC the efficiency metric approaches 1 across all
-sizes while the baseline scatters lower; baseline straggler percentages
-reach tens of percent and grow with op count, while any enforced order
-compresses them (the paper quotes up to 2.3x reduction).
+.. deprecated:: use ``repro.api.Session(...).run("fig11")``; this module
+   is a shim over the scenario registry (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-from functools import lru_cache
-
-from ..models import build_model, emit_graph
-from ..models.emit import WORKER_INFERENCE, WORKER_TRAINING
-from ..ps import ClusterSpec, shard_parameters
-from ..sweep import FnTask, SimCell
-from .common import Context, ExperimentOutput, finish, ps_for_workers, render_rows
-
-
-@lru_cache(maxsize=None)
-def ops_per_worker(model: str, workload: str) -> int:
-    """Worker-partition op count (Fig. 11's x axis; submitted as a sweep
-    task so warm-cache runs skip the model builds too)."""
-    ir = build_model(model)
-    placement = shard_parameters(ir.params, ["ps:0"])
-    mode = WORKER_TRAINING if workload == "training" else WORKER_INFERENCE
-    return len(emit_graph(ir, mode, placement=placement).graph)
+from ..api.scenarios import ops_per_worker  # noqa: F401 — legacy re-export
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def run(ctx: Context, *, n_workers: int = 4) -> ExperimentOutput:
-    t0 = time.perf_counter()
-    spec_ps = ps_for_workers(n_workers)
-    cells = [
-        SimCell(
-            model=model,
-            spec=ClusterSpec(n_workers=n_workers, n_ps=spec_ps, workload=workload),
-            algorithm=algorithm,
-            platform="envG",
-            config=ctx.sim_config(),
-        )
-        for workload in ("inference", "training")
-        for model in ctx.scale.models
-        for algorithm in ("baseline", "tic")
-    ]
-    results = ctx.sweep.run_cells(cells)
-    n_ops_of = dict(
-        zip(
-            [(c.model, c.spec.workload) for c in cells],
-            ctx.sweep.run_tasks(
-                [
-                    FnTask.make(
-                        ops_per_worker, model=c.model, workload=c.spec.workload
-                    )
-                    for c in cells
-                ]
-            ),
-        )
-    )
-    rows = []
-    for cell, result in zip(cells, results):
-        rows.append(
-            {
-                "model": cell.model,
-                "workload": cell.spec.workload,
-                "algorithm": cell.algorithm,
-                "ops_per_worker": n_ops_of[(cell.model, cell.spec.workload)],
-                "efficiency_mean": round(result.mean_efficiency, 4),
-                "efficiency_max": round(result.max_efficiency, 4),
-                "straggler_pct_max": round(result.max_straggler_pct, 2),
-                "straggler_pct_mean": round(result.mean_straggler_pct, 2),
-            }
-        )
-        if cell.algorithm == "tic":
-            ctx.log(f"  fig11 {cell.model} {cell.spec.workload}: done")
-    text = render_rows(
-        rows,
-        "Fig. 11: (a) scheduling efficiency and (b) straggler time vs ops per "
-        f"worker (envG, {n_workers} workers, baseline vs TIC)",
-        floatfmt=".3f",
-    )
-    return finish(ctx, "fig11_efficiency_stragglers", rows, text, t0=t0)
+    """Deprecated: equivalent to ``Session.run("fig11", n_workers=...)``."""
+    return run_scenario_shim("fig11", ctx, {"n_workers": n_workers})

@@ -1,34 +1,13 @@
 """Fig. 12 — scheduling efficiency vs. step time, and consistency (envC).
 
-The paper runs Inception v2 1000 times with and without TAC on the
-commodity CPU cluster and shows:
-
-(a) normalized step time is almost entirely explained by the scheduling
-    efficiency metric (linear fit, R² = 0.98) — i.e. most iteration-time
-    variance comes from random transfer orders;
-(b) the step-time CDF under TAC is a sharp step near the best observed
-    time while the baseline spreads wide: 95th-percentile normalized step
-    time 0.634 (baseline) vs 0.998 (TAC).
-
-Here each simulated iteration plays the role of one run (iterations are
-independent in the per-iteration model, matching the paper's independent
-trials).
+.. deprecated:: use ``repro.api.Session(...).run("fig12")``; this module
+   is a shim over the scenario registry (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-
-from ..analysis import (
-    empirical_cdf,
-    linear_regression,
-    normalized_step_time,
-    percentile,
-    scatter_sketch,
-)
-from ..ps import ClusterSpec
-from ..sweep import SimCell
-from .common import Context, ExperimentOutput, finish, render_rows
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def run(
@@ -37,105 +16,7 @@ def run(
     model: str = "Inception v2",
     n_workers: int = 4,
 ) -> ExperimentOutput:
-    t0 = time.perf_counter()
-    runs = ctx.scale.consistency_runs
-    cfg = ctx.sim_config(iterations=runs, warmup=0)
-    keys = [
-        (workload, algorithm)
-        for workload in ("training", "inference")
-        for algorithm in ("baseline", "tac")
-    ]
-    cells = [
-        SimCell(
-            model=model,
-            spec=ClusterSpec(n_workers=n_workers, n_ps=1, workload=workload),
-            algorithm=algorithm,
-            platform="envC",
-            config=cfg,
-        )
-        for workload, algorithm in keys
-    ]
-    results = dict(zip(keys, ctx.sweep.run_cells(cells)))
-    for workload, algorithm in keys:
-        ctx.log(f"  fig12 {workload}/{algorithm}: {runs} runs done")
-
-    # --- (a) regression: efficiency vs normalized step time (training) ---
-    effs, steps = [], []
-    for algorithm in ("baseline", "tac"):
-        r = results[("training", algorithm)]
-        effs.extend(r.efficiencies.tolist())
-        steps.extend(r.iteration_times.tolist())
-    norm = normalized_step_time(steps)
-    fit = linear_regression(effs, norm.tolist())
-
-    # --- (b) CDF of normalized step time (inference) ----------------------
-    base_times = results[("inference", "baseline")].iteration_times
-    tac_times = results[("inference", "tac")].iteration_times
-    pooled_min = min(base_times.min(), tac_times.min())
-    base_norm = pooled_min / base_times
-    tac_norm = pooled_min / tac_times
-    p95_base = percentile(base_norm, 5)  # 95th pct of slowness = 5th of norm
-    p95_tac = percentile(tac_norm, 5)
-
-    rows = []
-    for algorithm, norm_vals in (("baseline", base_norm), ("tac", tac_norm)):
-        xs, ps = empirical_cdf(norm_vals)
-        stride = max(1, len(xs) // 40)
-        for x, p in zip(xs[::stride], ps[::stride]):
-            rows.append(
-                {
-                    "series": f"cdf_{algorithm}",
-                    "normalized_step_time": round(float(x), 5),
-                    "cum_prob": round(float(p), 4),
-                }
-            )
-    summary_rows = [
-        {
-            "metric": "regression_r2",
-            "value": round(fit.r2, 4),
-            "paper": 0.98,
-        },
-        {
-            "metric": "p95_norm_step_baseline",
-            "value": round(p95_base, 4),
-            "paper": 0.63403,
-        },
-        {
-            "metric": "p95_norm_step_tac",
-            "value": round(p95_tac, 4),
-            "paper": 0.99825,
-        },
-        {
-            "metric": "step_cv_baseline",
-            "value": round(float(base_times.std() / base_times.mean()), 4),
-            "paper": float("nan"),
-        },
-        {
-            "metric": "step_cv_tac",
-            "value": round(float(tac_times.std() / tac_times.mean()), 4),
-            "paper": float("nan"),
-        },
-    ]
-    sketch = scatter_sketch(
-        effs, norm.tolist(),
-        title="Fig. 12a sketch: scheduling efficiency (x) vs normalized step time (y)",
-    )
-    text = "\n".join(
-        [
-            f"Fig. 12: {model}, envC, {runs} runs, {n_workers} workers",
-            render_rows(summary_rows, "  summary (ours vs paper)", floatfmt=".4f"),
-            sketch,
-        ]
-    )
-    return finish(
-        ctx,
-        "fig12_consistency",
-        summary_rows + rows,
-        text,
-        t0=t0,
-        extras={
-            "r2": fit.r2,
-            "p95_baseline": p95_base,
-            "p95_tac": p95_tac,
-        },
+    """Deprecated: equivalent to ``Session.run("fig12", ...)``."""
+    return run_scenario_shim(
+        "fig12", ctx, {"model": model, "n_workers": n_workers}
     )

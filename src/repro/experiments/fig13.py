@@ -1,56 +1,15 @@
 """Fig. 13 / Appendix B — TIC vs. TAC on the commodity CPU cluster (envC).
 
-The paper compares both heuristics against the no-scheduling baseline on
-Inception v2, VGG-16 and AlexNet v2 (training and inference) and finds
-them comparable — DAG structure alone captures most of the benefit for
-current models — with envC's 1 GbE making gains larger than envG's
-(up to ~75%).
+.. deprecated:: use ``repro.api.Session(...).run("fig13")``; this module
+   is a shim over the scenario registry (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-
-from ..models import ENVC_MODEL_NAMES
-from ..ps import ClusterSpec
-from ..sweep import SimCell
-from .common import Context, ExperimentOutput, finish, render_rows
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def run(ctx: Context, *, n_workers: int = 4) -> ExperimentOutput:
-    t0 = time.perf_counter()
-    cells = [
-        SimCell(
-            model=model,
-            spec=ClusterSpec(n_workers=n_workers, n_ps=1, workload=workload),
-            algorithm=algorithm,
-            platform="envC",
-            config=ctx.sim_config(),
-        )
-        for workload in ("inference", "training")
-        for model in ENVC_MODEL_NAMES
-        for algorithm in ("tic", "tac")
-    ]
-    speedups = iter(ctx.sweep.run_speedups(cells))
-    rows = []
-    for workload in ("inference", "training"):
-        for model in ENVC_MODEL_NAMES:
-            entry = {
-                "model": model,
-                "workload": workload,
-                "workers": n_workers,
-            }
-            for algorithm in ("tic", "tac"):
-                gain, _, base = next(speedups)
-                entry[f"{algorithm}_speedup_pct"] = round(gain, 1)
-                entry["baseline_sps"] = round(base.throughput, 1)
-            rows.append(entry)
-            ctx.log(
-                f"  fig13 {model} {workload}: tic {entry['tic_speedup_pct']:+.1f}% "
-                f"tac {entry['tac_speedup_pct']:+.1f}%"
-            )
-    text = render_rows(
-        rows,
-        f"Fig. 13: TIC and TAC speedup vs baseline (envC, {n_workers} workers)",
-    )
-    return finish(ctx, "fig13_tic_vs_tac", rows, text, t0=t0)
+    """Deprecated: equivalent to ``Session.run("fig13", n_workers=...)``."""
+    return run_scenario_shim("fig13", ctx, {"n_workers": n_workers})

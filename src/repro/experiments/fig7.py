@@ -1,60 +1,30 @@
 """Fig. 7 — throughput speedup vs. number of workers (envG).
 
-Protocol: workers in {1, 2, 4, 8, 16} with PS:workers fixed at 1:4, cloud
-GPU platform, both training and inference, gains of TIC relative to the
-no-scheduling baseline. (The paper uses TIC as the representative
-scheduler in envG, Appendix B.)
-
-Shape targets: gains up to the tens of percent; larger models gain more;
-gains grow with worker count until communication saturates, then shrink;
-small models at small scale may lose a few percent to overhead.
+.. deprecated:: use ``repro.api.Session(...).run("fig7")``; this module
+   is a shim over the scenario registry (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-
+from ..api.scenarios import FIG7_GRID
 from ..sweep import GridSpec
-from .common import Context, ExperimentOutput, finish, render_rows
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def grid(ctx: Context, algorithm: str) -> GridSpec:
-    """Fig. 7's slice of the evaluation grid (shared with the headline
-    scan, so their cells cache-hit each other)."""
+    """Fig. 7's slice of the evaluation grid (legacy helper; the
+    declarative form is ``repro.api.scenarios.FIG7_GRID``)."""
     return GridSpec(
         models=ctx.scale.models,
-        workloads=("inference", "training"),
+        workloads=FIG7_GRID.workloads,
         worker_counts=ctx.scale.worker_counts,
         ps_from_workers=True,
         algorithms=(algorithm,),
-        platforms=("envG",),
+        platforms=FIG7_GRID.platforms,
     )
 
 
 def run(ctx: Context, *, algorithm: str = "tic") -> ExperimentOutput:
-    t0 = time.perf_counter()
-    cells = grid(ctx, algorithm).cells(ctx.sim_config())
-    speedups = ctx.sweep.run_speedups(cells)
-    rows = []
-    for cell, (gain, sched, base) in zip(cells, speedups):
-        rows.append(
-            {
-                "model": cell.model,
-                "workload": cell.spec.workload,
-                "workers": cell.spec.n_workers,
-                "ps": cell.spec.n_ps,
-                "baseline_sps": round(base.throughput, 1),
-                f"{algorithm}_sps": round(sched.throughput, 1),
-                "speedup_pct": round(gain, 1),
-            }
-        )
-        ctx.log(
-            f"  fig7 {cell.model} {cell.spec.workload} "
-            f"w{cell.spec.n_workers}ps{cell.spec.n_ps}: {gain:+.1f}%"
-        )
-    text = render_rows(
-        rows,
-        f"Fig. 7: throughput speedup of {algorithm.upper()} vs baseline, "
-        "scaling workers (envG, PS:W = 1:4)",
-    )
-    return finish(ctx, "fig7_worker_scaling", rows, text, t0=t0)
+    """Deprecated: equivalent to ``Session.run("fig7", algorithm=...)``."""
+    return run_scenario_shim("fig7", ctx, {"algorithm": algorithm})

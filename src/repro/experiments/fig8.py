@@ -1,85 +1,16 @@
 """Fig. 8 — training loss with and without enforced ordering.
 
-The paper trains Inception v3 on ImageNet for 500 iterations under
-no-ordering and TIC and shows coinciding loss curves (scheduling permutes
-transfer order only — the arithmetic is untouched). Our numeric substrate
-(:mod:`repro.training`) makes the transfer order an explicit step of
-data-parallel SGD, so we can assert the curves are not merely close but
-*identical*.
+.. deprecated:: use ``repro.api.Session(...).run("fig8")``; this module
+   is a shim over the scenario registry (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
-from ..sweep import FnTask
-from ..training import (
-    baseline_ordering,
-    enforced_ordering,
-    make_dataset,
-    train_data_parallel,
-)
-from .common import Context, ExperimentOutput, finish, render_rows
-
-
-def training_run(ordering: str, iterations: int, seed: int) -> dict:
-    """One Fig. 8 SGD run as a cacheable sweep task. The dataset is
-    rebuilt from ``seed``, so both orderings train on identical data."""
-    ds = make_dataset(seed=seed)
-    policy = (
-        baseline_ordering(seed) if ordering == "no_ordering" else enforced_ordering()
-    )
-    log = train_data_parallel(
-        ds, iterations=iterations, ordering=policy, label=ordering, seed=seed
-    )
-    return {
-        "losses": [float(x) for x in log.losses],
-        "accuracy": float(log.eval_accuracy),
-    }
+from ..api.scenarios import training_run  # noqa: F401 — legacy re-export
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def run(ctx: Context) -> ExperimentOutput:
-    t0 = time.perf_counter()
-    iters = ctx.scale.loss_iterations
-    labels = ("no_ordering", "tic")
-    tasks = [
-        FnTask.make(training_run, ordering=label, iterations=iters, seed=ctx.seed)
-        for label in labels
-    ]
-    runs = dict(zip(labels, ctx.sweep.run_tasks(tasks)))
-    identical = bool(
-        np.array_equal(
-            np.array(runs["no_ordering"]["losses"]), np.array(runs["tic"]["losses"])
-        )
-    )
-    rows = []
-    stride = max(1, iters // 50)
-    for i in range(0, iters, stride):
-        rows.append(
-            {
-                "iteration": i,
-                "loss_no_ordering": runs["no_ordering"]["losses"][i],
-                "loss_tic": runs["tic"]["losses"][i],
-            }
-        )
-    first, last = runs["tic"]["losses"][0], runs["tic"]["losses"][-1]
-    text = "\n".join(
-        [
-            "Fig. 8: training loss, no-ordering vs TIC "
-            f"({iters} iterations, synthetic dataset)",
-            f"  curves identical: {identical}",
-            f"  loss {first:.4f} -> {last:.4f} "
-            f"(accuracy {runs['tic']['accuracy']:.3f})",
-            render_rows(rows[:10], "  first sampled points", floatfmt=".4f"),
-        ]
-    )
-    return finish(
-        ctx,
-        "fig8_training_loss",
-        rows,
-        text,
-        t0=t0,
-        extras={"identical": identical, "final_loss": last},
-    )
+    """Deprecated: equivalent to ``Session.run("fig8")``."""
+    return run_scenario_shim("fig8", ctx, {})

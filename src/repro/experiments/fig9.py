@@ -1,50 +1,17 @@
 """Fig. 9 — speedup vs. number of parameter servers (envG, 8 workers).
 
-Shape targets: ordering keeps paying as PS count grows (priorities are
-per-channel, so multiple shards still benefit); inference gains exceed
-training gains; larger models gain more.
+.. deprecated:: use ``repro.api.Session(...).run("fig9")``; this module
+   is a shim over the scenario registry (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-
-from ..sweep import GridSpec
-from .common import Context, ExperimentOutput, finish, render_rows
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def run(ctx: Context, *, algorithm: str = "tic", n_workers: int = 8) -> ExperimentOutput:
-    t0 = time.perf_counter()
-    if ctx.scale.name == "quick":
-        n_workers = min(n_workers, max(ctx.scale.worker_counts))
-    cells = GridSpec(
-        models=ctx.scale.models,
-        workloads=("inference", "training"),
-        worker_counts=(n_workers,),
-        ps_counts=ctx.scale.ps_counts,
-        algorithms=(algorithm,),
-        platforms=("envG",),
-    ).cells(ctx.sim_config())
-    rows = []
-    for cell, (gain, sched, base) in zip(cells, ctx.sweep.run_speedups(cells)):
-        rows.append(
-            {
-                "model": cell.model,
-                "workload": cell.spec.workload,
-                "workers": n_workers,
-                "ps": cell.spec.n_ps,
-                "baseline_sps": round(base.throughput, 1),
-                f"{algorithm}_sps": round(sched.throughput, 1),
-                "speedup_pct": round(gain, 1),
-            }
-        )
-        ctx.log(
-            f"  fig9 {cell.model} {cell.spec.workload} "
-            f"ps{cell.spec.n_ps}: {gain:+.1f}%"
-        )
-    text = render_rows(
-        rows,
-        f"Fig. 9: speedup of {algorithm.upper()} vs baseline, scaling parameter "
-        f"servers (envG, {n_workers} workers)",
+    """Deprecated: equivalent to ``Session.run("fig9", ...)``."""
+    return run_scenario_shim(
+        "fig9", ctx, {"algorithm": algorithm, "n_workers": n_workers}
     )
-    return finish(ctx, "fig9_ps_scaling", rows, text, t0=t0)

@@ -1,65 +1,16 @@
 """Headline claims (§1/abstract): aggregate maxima over the sweeps.
 
-The paper's abstract: "TicTac improves the throughput by up to 37.7% in
-inference and 19.2% in training, while also reducing straggler effect by
-up to 2.3x." This driver scans the worker-scaling sweep plus a straggler
-comparison and reports our corresponding maxima.
+.. deprecated:: use ``repro.api.Session(...).run("headline")``; this
+   module is a shim over the scenario registry
+   (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-
-from . import fig7
-from .common import Context, ExperimentOutput, finish, render_rows
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def run(ctx: Context, *, algorithm: str = "tic") -> ExperimentOutput:
-    t0 = time.perf_counter()
-    best = {"inference": (-1e9, ""), "training": (-1e9, "")}
-    worst = (1e9, "")
-    straggler_ratios = []
-    # The headline scan is exactly Fig. 7's grid, so a run that follows
-    # (or precedes) fig7 resolves entirely from the sweep cache.
-    cells = fig7.grid(ctx, algorithm).cells(ctx.sim_config())
-    for cell, (gain, sched, base) in zip(cells, ctx.sweep.run_speedups(cells)):
-        workload, w = cell.spec.workload, cell.spec.n_workers
-        tag = f"{cell.model}/w{w}"
-        if gain > best[workload][0]:
-            best[workload] = (gain, tag)
-        if gain < worst[0]:
-            worst = (gain, tag)
-        if w > 1 and sched.max_straggler_pct > 0:
-            straggler_ratios.append(
-                (base.max_straggler_pct / max(sched.max_straggler_pct, 1e-9),
-                 tag + "/" + workload)
-            )
-    best_straggler = max(straggler_ratios) if straggler_ratios else (float("nan"), "n/a")
-    rows = [
-        {
-            "claim": "max inference speedup",
-            "ours_pct": round(best["inference"][0], 1),
-            "paper_pct": 37.7,
-            "where": best["inference"][1],
-        },
-        {
-            "claim": "max training speedup",
-            "ours_pct": round(best["training"][0], 1),
-            "paper_pct": 19.2,
-            "where": best["training"][1],
-        },
-        {
-            "claim": "worst slowdown",
-            "ours_pct": round(worst[0], 1),
-            "paper_pct": -4.2,
-            "where": worst[1],
-        },
-        {
-            "claim": "max straggler reduction (x)",
-            "ours_pct": round(best_straggler[0], 2),
-            "paper_pct": 2.3,
-            "where": best_straggler[1],
-        },
-    ]
-    text = render_rows(rows, "Headline claims (abstract) — ours vs paper")
-    return finish(ctx, "headline", rows, text, t0=t0)
+    """Deprecated: equivalent to ``Session.run("headline", ...)``."""
+    return run_scenario_shim("headline", ctx, {"algorithm": algorithm})

@@ -1,92 +1,21 @@
 """§2.2's motivating measurement: how random is the transfer order?
 
-The paper runs 1000 training iterations and records the order in which a
-worker receives its parameters: ResNet-v2-50 and Inception-v3 never repeat
-an order; VGG-16 shows 493 unique orders in 1000 runs. It also sizes the
-search space via ResNet-v2-152 (363 parameter tensors -> 363! candidate
-orders; 229.5 MB; a ~4.7k-op graph).
-
-This driver reproduces both: it simulates baseline (unscheduled)
-iterations, hashes each iteration's parameter-arrival order at worker:0,
-and counts distinct orders; and it rebuilds the ResNet-v2-152 sizing note
-from the zoo.
+.. deprecated:: use ``repro.api.Session(...).run("motivation")``; this
+   module is a shim over the scenario registry
+   (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
-from ..models import build_model
-from ..ps import ClusterSpec, build_cluster_graph
-from ..sim import CompiledCore, SimConfig, SimVariant
-from ..sweep import FnTask
-from ..timing import ENV_G
-from .common import Context, ExperimentOutput, finish, render_rows
-from .table1 import model_characteristics
-
-#: The three models §2.2 reports order-uniqueness for.
-MOTIVATION_MODELS = ("ResNet-50 v2", "Inception v3", "VGG-16")
-PAPER_UNIQUE = {"ResNet-50 v2": 1000, "Inception v3": 1000, "VGG-16": 493}
-
-
-def count_unique_orders(model: str, iterations: int, seed: int = 0) -> int:
-    """Distinct parameter-arrival orders at worker:0 across iterations."""
-    ir = build_model(model)
-    cluster = build_cluster_graph(ir, ClusterSpec(2, 1, "training"))
-    sim = SimVariant(CompiledCore(cluster, ENV_G), None, SimConfig(seed=seed, iterations=1))
-    recvs = cluster.param_recvs["worker:0"]
-    op_ids = np.array(list(recvs.values()))
-    seen: set[tuple] = set()
-    # stream the 1000-iteration protocol (slabbed batch setup inside)
-    for record in sim.iter_iterations(0, iterations):
-        order = tuple(np.argsort(record.start[op_ids], kind="stable").tolist())
-        seen.add(order)
-    return len(seen)
+from ..api.scenarios import (  # noqa: F401 — legacy re-exports
+    MOTIVATION_MODELS,
+    PAPER_UNIQUE,
+    count_unique_orders,
+)
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def run(ctx: Context) -> ExperimentOutput:
-    t0 = time.perf_counter()
-    iterations = min(ctx.scale.consistency_runs, 1000)
-    tasks = [
-        FnTask.make(
-            count_unique_orders, model=model, iterations=iterations, seed=ctx.seed
-        )
-        for model in MOTIVATION_MODELS
-    ] + [FnTask.make(model_characteristics, name="ResNet-152 v2")]
-    *uniques, r152 = ctx.sweep.run_tasks(tasks)
-    rows = []
-    for model, unique in zip(MOTIVATION_MODELS, uniques):
-        rows.append(
-            {
-                "model": model,
-                "iterations": iterations,
-                "unique_orders": unique,
-                "paper_unique_of_1000": PAPER_UNIQUE[model],
-            }
-        )
-        ctx.log(f"  motivation {model}: {unique}/{iterations} unique orders")
-
-    # The §2.2 sizing example.
-    rows.append(
-        {
-            "model": "ResNet-152 v2 (sizing)",
-            "iterations": 0,
-            "unique_orders": r152["params"],
-            "paper_unique_of_1000": 363,
-        }
-    )
-    text = "\n".join(
-        [
-            render_rows(
-                rows,
-                f"Motivation (§2.2): distinct parameter-arrival orders over "
-                f"{iterations} baseline iterations",
-            ),
-            f"ResNet-v2-152 sizing: {r152['params']} tensors "
-            f"(paper: 363), {r152['size_mib']:.1f} MiB (paper: 229.5), "
-            f"{r152['ops_train']} training ops (paper: 4655).",
-        ]
-    )
-    return finish(ctx, "motivation_unique_orders", rows, text, t0=t0)
+    """Deprecated: equivalent to ``Session.run("motivation")``."""
+    return run_scenario_shim("motivation", ctx, {})

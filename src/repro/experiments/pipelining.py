@@ -1,48 +1,15 @@
-"""Pipelining ablation (extension): does TicTac's benefit survive
-per-parameter cross-iteration pipelining?
+"""Pipelining ablation (extension): cross-iteration overlap vs barrier.
 
-The paper's protocol measures barrier-to-barrier iterations; a production
-PS runtime overlaps the tail of iteration k with the head of k+1. This
-driver compares, for baseline and TIC:
-
-* the barrier model's mean iteration time (the paper's measurement), and
-* the unrolled window's steady-state iteration time and fill latency.
-
-Expected shape: pipelining shortens both configurations, and TicTac's
-relative gain persists (ordering fixes the *intra-iteration* pull phase,
-which pipelining does not touch).
+.. deprecated:: use ``repro.api.Session(...).run("pipelining")``; this
+   module is a shim over the scenario registry
+   (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-
-from ..ps import ClusterSpec
-from ..sim import SimConfig, simulate_pipelined
-from ..sweep import FnTask, SimCell
-from .common import Context, ExperimentOutput, finish, render_rows
-
-
-def pipelined_metrics(
-    model: str,
-    n_workers: int,
-    window: int,
-    algorithm: str,
-    iterations: int,
-    seed: int,
-) -> dict:
-    """Steady-state metrics of one unrolled-window run (sweep task; the
-    unrolled cluster graph is not a plain grid cell)."""
-    spec = ClusterSpec(n_workers=n_workers, n_ps=1, workload="training")
-    cfg = SimConfig(seed=seed, iterations=iterations, warmup=0)
-    result = simulate_pipelined(
-        model, spec, window=window, algorithm=algorithm,
-        platform="envG", config=cfg,
-    )
-    return {
-        "steady_s": result.mean_steady_iteration_time,
-        "fill_s": result.fill_latency,
-    }
+from ..api.scenarios import pipelined_metrics  # noqa: F401 — legacy re-export
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def run(
@@ -52,53 +19,9 @@ def run(
     n_workers: int = 4,
     window: int = 4,
 ) -> ExperimentOutput:
-    t0 = time.perf_counter()
-    spec = ClusterSpec(n_workers=n_workers, n_ps=1, workload="training")
-    cfg = ctx.sim_config(iterations=max(2, ctx.scale.iterations // 2), warmup=0)
-    algorithms = ("baseline", "tic")
-    barriers = ctx.sweep.run_cells(
-        [
-            SimCell(model=model, spec=spec, algorithm=a, platform="envG", config=cfg)
-            for a in algorithms
-        ]
+    """Deprecated: equivalent to ``Session.run("pipelining", ...)``."""
+    return run_scenario_shim(
+        "pipelining",
+        ctx,
+        {"model": model, "n_workers": n_workers, "window": window},
     )
-    pipelineds = ctx.sweep.run_tasks(
-        [
-            FnTask.make(
-                pipelined_metrics,
-                model=model,
-                n_workers=n_workers,
-                window=window,
-                algorithm=a,
-                iterations=cfg.iterations,
-                seed=cfg.seed,
-            )
-            for a in algorithms
-        ]
-    )
-    rows = []
-    for algorithm, barrier, pipelined in zip(algorithms, barriers, pipelineds):
-        rows.append(
-            {
-                "algorithm": algorithm,
-                "barrier_ms": round(barrier.mean_iteration_time * 1e3, 1),
-                "pipelined_steady_ms": round(pipelined["steady_s"] * 1e3, 1),
-                "pipelining_gain_pct": round(
-                    (barrier.mean_iteration_time - pipelined["steady_s"])
-                    / barrier.mean_iteration_time * 100, 1,
-                ),
-                "fill_latency_ms": round(pipelined["fill_s"] * 1e3, 1),
-            }
-        )
-        ctx.log(f"  pipelining {algorithm}: done")
-    base, tic = rows
-    tic["tic_gain_pipelined_pct"] = round(
-        (base["pipelined_steady_ms"] - tic["pipelined_steady_ms"])
-        / base["pipelined_steady_ms"] * 100, 1,
-    )
-    text = render_rows(
-        rows,
-        f"Pipelining ablation ({model}, {n_workers} workers, training, "
-        f"window={window}): barrier model vs per-parameter pipelining",
-    )
-    return finish(ctx, "pipelining_ablation", rows, text, t0=t0)

@@ -1,70 +1,19 @@
 """Straggler-source decomposition (extends §6.3).
 
-The paper attributes straggling to two causes: "system-level performance
-variations and efficiency of scheduling on individual workers", and shows
-scheduling removes the second. This driver separates the two experimentally:
-
-* **scheduling-induced** — homogeneous workers, baseline vs TIC: the
-  straggler % that enforcement eliminates;
-* **system-induced** — one worker's compute slowed by a factor (a
-  preempted/oversubscribed cloud VM): scheduling cannot remove this
-  component, and the residual straggler % under TIC quantifies it.
-
-The sweep also shows the two compose: with a slow worker, TIC still
-removes the scheduling component (total straggling drops to roughly the
-hardware-imbalance floor).
+.. deprecated:: use ``repro.api.Session(...).run("stragglers")``; this
+   module is a shim over the scenario registry
+   (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-
-from ..ps import ClusterSpec
-from ..sweep import SimCell
-from .common import Context, ExperimentOutput, finish, render_rows
-
-SLOWDOWNS = (1.0, 1.25, 1.5)
+from ..api.scenarios import SLOWDOWNS  # noqa: F401 — legacy re-export
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def run(ctx: Context, *, model: str = "ResNet-50 v1", n_workers: int = 4) -> ExperimentOutput:
-    t0 = time.perf_counter()
-    spec = ClusterSpec(n_workers=n_workers, n_ps=1, workload="training")
-    points = [
-        (slowdown, algorithm)
-        for slowdown in SLOWDOWNS
-        for algorithm in ("baseline", "tic")
-    ]
-    cells = [
-        SimCell(
-            model=model,
-            spec=spec,
-            algorithm=algorithm,
-            platform="envG",
-            config=ctx.sim_config(
-                device_slowdown=()
-                if slowdown == 1.0
-                else (("worker:0", slowdown),)
-            ),
-        )
-        for slowdown, algorithm in points
-    ]
-    rows = []
-    for (slowdown, algorithm), result in zip(points, ctx.sweep.run_cells(cells)):
-        rows.append(
-            {
-                "model": model,
-                "slow_worker_factor": slowdown,
-                "algorithm": algorithm,
-                "iteration_ms": round(result.mean_iteration_time * 1e3, 1),
-                "straggler_pct_max": round(result.max_straggler_pct, 2),
-                "straggler_pct_mean": round(result.mean_straggler_pct, 2),
-            }
-        )
-        if algorithm == "tic":
-            ctx.log(f"  stragglers x{slowdown}: done")
-    text = render_rows(
-        rows,
-        "Straggler decomposition (extends §6.3): scheduling-induced vs "
-        f"system-induced straggling ({model}, {n_workers} workers, envG)",
+    """Deprecated: equivalent to ``Session.run("stragglers", ...)``."""
+    return run_scenario_shim(
+        "stragglers", ctx, {"model": model, "n_workers": n_workers}
     )
-    return finish(ctx, "straggler_decomposition", rows, text, t0=t0)

@@ -1,58 +1,16 @@
 """Table 1 — DNN model characteristics, ours vs. the paper.
 
-For each of the ten models: parameter-tensor count, total parameter size
-(MiB), canonical op counts in inference and training modes, and the paper's
-published values with deltas. Parameter counts and sizes reproduce exactly;
-op counts are structural (not padded) and land within a documented margin.
+.. deprecated:: use ``repro.api.Session(...).run("table1")``; this module
+   is a shim over the scenario registry (see :mod:`repro.api.scenarios`).
 """
 
 from __future__ import annotations
 
-import time
-
-from ..models import PAPER_TABLE_1, build_model, op_counts
-from ..sweep import FnTask
-from .common import Context, ExperimentOutput, finish, render_rows
-
-
-def model_characteristics(name: str) -> dict:
-    """Build one model and report Table 1's structural quantities
-    (a cacheable/parallelizable sweep task — model IR construction is the
-    expensive part of this driver)."""
-    ir = build_model(name)
-    inf, tr = op_counts(ir)
-    return {
-        "params": ir.n_param_tensors,
-        "size_mib": ir.total_param_mib,
-        "ops_inf": inf,
-        "ops_train": tr,
-        "batch": ir.batch_size,
-    }
+from ..api.scenarios import model_characteristics  # noqa: F401 — legacy re-export
+from ._shim import run_scenario_shim
+from .common import Context, ExperimentOutput
 
 
 def run(ctx: Context) -> ExperimentOutput:
-    t0 = time.perf_counter()
-    names = list(PAPER_TABLE_1)
-    tasks = [FnTask.make(model_characteristics, name=name) for name in names]
-    rows = []
-    for name, char in zip(names, ctx.sweep.run_tasks(tasks)):
-        ref = PAPER_TABLE_1[name]
-        inf, tr = char["ops_inf"], char["ops_train"]
-        rows.append(
-            {
-                "model": name,
-                "params": char["params"],
-                "params_paper": ref.n_params,
-                "size_mib": round(char["size_mib"], 2),
-                "size_mib_paper": ref.param_mib,
-                "ops_inf": inf,
-                "ops_inf_paper": ref.ops_inference,
-                "ops_inf_delta_pct": round(100 * (inf - ref.ops_inference) / ref.ops_inference, 1),
-                "ops_train": tr,
-                "ops_train_paper": ref.ops_training,
-                "ops_train_delta_pct": round(100 * (tr - ref.ops_training) / ref.ops_training, 1),
-                "batch": char["batch"],
-            }
-        )
-    text = render_rows(rows, "Table 1: DNN model characteristics (ours vs paper)")
-    return finish(ctx, "table1_models", rows, text, t0=t0)
+    """Deprecated: equivalent to ``Session.run("table1")``."""
+    return run_scenario_shim("table1", ctx, {})

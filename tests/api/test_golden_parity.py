@@ -1,0 +1,43 @@
+"""Golden parity: ``Session.run`` reproduces the committed results CSVs
+byte-for-byte for a quick-scale subset (the full set is verified by
+``tictac-repro all --quick`` against ``results/`` — same engine, same
+registry path)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import Session
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_DIR = REPO_ROOT / "results"
+
+#: Cheap quick-scale scenarios whose committed CSVs we replay exactly.
+PARITY = (
+    ("table1", "table1_models"),
+    ("stragglers", "straggler_decomposition"),
+    ("pipelining", "pipelining_ablation"),
+)
+
+
+@pytest.fixture(scope="module")
+def quick_session(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("golden")
+    with Session(
+        scale="quick", results_dir=str(tmp), cache=False, verbose=False
+    ) as session:
+        yield session
+
+
+@pytest.mark.parametrize("name,output", PARITY)
+def test_session_reproduces_committed_csv(quick_session, name, output):
+    golden = GOLDEN_DIR / f"{output}.csv"
+    assert golden.exists(), f"committed golden CSV missing: {golden}"
+    rs = quick_session.run(name)
+    paths = rs.to_csv(quick_session.results_dir)
+    regenerated = Path(paths[output]).read_bytes()
+    assert regenerated == golden.read_bytes(), (
+        f"{output}.csv is no longer byte-identical through the scenario "
+        f"path; if an engine/scenario change is intentional, regenerate "
+        f"results/ with `tictac-repro all --quick --rerun`"
+    )

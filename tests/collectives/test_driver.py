@@ -10,7 +10,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import allreduce
+from repro.api import execute_scenario
 from repro.experiments.common import Context, Scale
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -40,7 +40,10 @@ def tiny_context(tmp_path, **kwargs) -> Context:
 @pytest.fixture(scope="module")
 def driver_output(tmp_path_factory):
     tmp = tmp_path_factory.mktemp("allreduce")
-    return allreduce.run(tiny_context(tmp)), tmp
+    ctx = tiny_context(tmp)
+    out = execute_scenario(ctx, "allreduce")
+    out.extras["csv_path"] = out.save(ctx.results_dir)[out.name]
+    return out, tmp
 
 
 def test_driver_covers_the_grid(driver_output):
@@ -54,8 +57,9 @@ def test_driver_covers_the_grid(driver_output):
 
 def test_driver_writes_all_csvs(driver_output):
     out, tmp = driver_output
-    assert os.path.exists(out.csv_path)
-    assert out.csv_path.endswith("allreduce_comparison.csv")
+    csv_path = out.extras["csv_path"]
+    assert os.path.exists(csv_path)
+    assert csv_path.endswith("allreduce_comparison.csv")
     assert os.path.exists(out.extras["wire_check_csv"])
     assert os.path.exists(out.extras["vs_ps_csv"])
 
@@ -78,7 +82,7 @@ def test_tac_never_slower_than_baseline(driver_output):
 
 _SUBPROCESS_SCRIPT = """
 import sys
-from repro.experiments import allreduce
+from repro.api import execute_scenario
 from repro.experiments.common import Context, Scale
 
 scale = Scale(
@@ -87,7 +91,7 @@ scale = Scale(
 )
 ctx = Context(scale=scale, results_dir=sys.argv[1], use_cache=False,
               verbose=False)
-allreduce.run(ctx)
+execute_scenario(ctx, "allreduce").save(ctx.results_dir)
 """
 
 

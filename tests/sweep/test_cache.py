@@ -71,10 +71,12 @@ class TestKeyStability:
         assert a.cache_key_material() != c.cache_key_material()
 
     def test_fn_task_make_sorts_kwargs(self):
-        from repro.experiments.table1 import model_characteristics
+        # canonical home since the api redesign; repro.experiments.table1
+        # re-exports it for backward compatibility
+        from repro.api.scenarios import model_characteristics
 
         task = FnTask.make(model_characteristics, name="AlexNet v2")
-        assert task.fn == "repro.experiments.table1:model_characteristics"
+        assert task.fn == "repro.api.scenarios:model_characteristics"
         assert task.resolve() is model_characteristics
 
 

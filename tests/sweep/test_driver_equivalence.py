@@ -6,10 +6,18 @@ import csv
 
 import pytest
 
+from repro.api import execute_scenario
 from repro.experiments import Context, Scale
-from repro.experiments import fig7
 from repro.ps import ClusterSpec
 from repro.sim import speedup_vs_baseline
+
+
+def run_fig7(ctx: Context):
+    """The scenario path every caller now goes through (the deprecated
+    ``experiments.fig7.run`` shim routes here too)."""
+    out = execute_scenario(ctx, "fig7")
+    paths = out.save(ctx.results_dir)
+    return out, paths[out.name]
 
 MICRO = Scale(
     name="micro",
@@ -63,27 +71,27 @@ def reference_rows(tmp_path_factory):
 
 
 def test_fig7_matches_seed_serial_loop(tmp_path, reference_rows):
-    out = fig7.run(micro_ctx(tmp_path))
+    out, _ = run_fig7(micro_ctx(tmp_path))
     assert out.rows == reference_rows
 
 
 def test_fig7_parallel_matches_serial(tmp_path, reference_rows):
-    out = fig7.run(micro_ctx(tmp_path, jobs=2, use_cache=False))
+    out, _ = run_fig7(micro_ctx(tmp_path, jobs=2, use_cache=False))
     assert out.rows == reference_rows
 
 
 def test_fig7_warm_cache_matches_and_skips_simulation(tmp_path, reference_rows):
     cold_ctx = micro_ctx(tmp_path)
-    cold = fig7.run(cold_ctx)
+    cold, _ = run_fig7(cold_ctx)
     assert cold_ctx.sweep.stats.hits == 0
 
     warm_ctx = micro_ctx(tmp_path)
-    warm = fig7.run(warm_ctx)
+    warm, warm_csv = run_fig7(warm_ctx)
     assert warm.rows == cold.rows == reference_rows
     assert warm_ctx.sweep.stats.misses == 0  # everything served from cache
     assert warm_ctx.sweep.stats.hits > 0
 
-    with open(warm.csv_path) as fh:
+    with open(warm_csv) as fh:
         csv_rows = list(csv.DictReader(fh))
     assert len(csv_rows) == len(reference_rows)
     assert csv_rows[0]["speedup_pct"] == str(reference_rows[0]["speedup_pct"])
