@@ -35,6 +35,10 @@ Workloads (chosen to cover both engine regimes):
   with sender enforcement: gate bookkeeping + priority paths.
 * ``batch_10`` — ``run_iterations(0, 10)`` of the unscheduled sim: the
   amortized batch API end to end (per-second number is per iteration).
+* ``jobmix_packed`` — one iteration of a two-job AlexNet mix (the second
+  job arriving mid-flight) packed onto shared hosts on envC: the
+  multi-job union path — deferred root releases, shared-NIC channel
+  contention, per-job completion accounting.
 """
 
 from __future__ import annotations
@@ -55,8 +59,15 @@ def build_workloads(kernel: str = "auto"):
     from repro.core import Schedule
     from repro.models import build_model
     from repro.ps import ClusterSpec, build_cluster_graph
-    from repro.sim import CompiledCore, SimConfig, SimVariant
-    from repro.timing import ENV_G
+    from repro.sim import (
+        CompiledCore,
+        JobMixSpec,
+        JobSpec,
+        SimConfig,
+        SimVariant,
+        build_jobmix_graph,
+    )
+    from repro.timing import ENV_G, get_platform
 
     ir = build_model("Inception v3")
     cluster = build_cluster_graph(ir, ClusterSpec(4, 1, "training"))
@@ -66,10 +77,23 @@ def build_workloads(kernel: str = "auto"):
     sched = SimVariant(core, layerwise,
                        SimConfig(enforcement="sender", kernel=kernel))
 
+    mix_spec = JobMixSpec(
+        jobs=(
+            JobSpec("AlexNet v2", n_workers=2, n_ps=1),
+            JobSpec("AlexNet v2", n_workers=2, n_ps=1, arrival=6.0),
+        ),
+        placement="packed",
+        n_hosts=6,
+    )
+    mix_core = CompiledCore(build_jobmix_graph(None, mix_spec),
+                            get_platform("envC"))
+    mix = SimVariant(mix_core, None, SimConfig(kernel=kernel))
+
     return {
         "iteration_unscheduled": (lambda: plain.run_iteration(0), 1),
         "iteration_scheduled": (lambda: sched.run_iteration(0), 1),
         "batch_10": (lambda: plain.run_iterations(0, 10), 10),
+        "jobmix_packed": (lambda: mix.run_iteration(0), 1),
     }, plain.kernel
 
 

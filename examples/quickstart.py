@@ -9,7 +9,7 @@ Part 2 uses the stable :mod:`repro.api` facade: a ``Session`` owning the
 runner/cache lifecycle runs a registered scenario at a custom scale and
 returns a typed ``ResultSet`` (rows + schema + provenance) — values, not
 side effects. (The old per-driver pattern,
-``repro.experiments.fig7.run(ctx)``, still works but is deprecated.)
+``repro.experiments.fig7.run(ctx)``, has been removed.)
 
 Part 3 shows parameter overrides and the scenario registry.
 

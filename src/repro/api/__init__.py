@@ -38,6 +38,7 @@ from .context import (
     make_context,
 )
 from .engine import ScenarioRun, execute_scenario
+from .jobmix_scenarios import JobMixScenario
 from .registry import (
     UnknownAnalysisError,
     UnknownScenarioError,
@@ -58,6 +59,7 @@ __all__ = [
     "FIG7_MODELS",
     "FULL",
     "Grid",
+    "JobMixScenario",
     "Provenance",
     "QUICK",
     "QUICK_MODELS",

@@ -69,8 +69,9 @@ def _ensure_defaults() -> None:
     global _defaults_loaded
     if _defaults_loaded:
         return
-    _defaults_loaded = True  # set first: the import below re-enters us
+    _defaults_loaded = True  # set first: the imports below re-enter us
     from . import scenarios  # noqa: F401 — registers the built-ins
+    from . import jobmix_scenarios  # noqa: F401 — multi-job studies
 
 
 # ----------------------------------------------------------------------

@@ -1,8 +1,10 @@
 """Communication-backend registry: spec type -> graph builder + wizard.
 
-Two backends ship: the parameter-server architecture
-(:class:`~repro.ps.cluster.ClusterSpec`) and the collective all-reduce
-architecture (:class:`~repro.collectives.CollectiveSpec`). A spec object
+Three backends ship: the parameter-server architecture
+(:class:`~repro.ps.cluster.ClusterSpec`), the collective all-reduce
+architecture (:class:`~repro.collectives.CollectiveSpec`), and the
+multi-job co-scheduling union (:class:`~repro.sim.jobmix.JobMixSpec`),
+which composes the other two under per-job namespaces. A spec object
 fully names a cluster shape; this module dispatches on its *type* so the
 simulation entry points (:mod:`repro.sim.runner`), the sweep runner and
 the experiment drivers stay backend-agnostic. Third-party backends
@@ -110,6 +112,12 @@ def _ensure_defaults() -> None:
         reference_schedule_key,
     )
     from ..ps.cluster import ClusterSpec, build_cluster_graph
+    from ..sim.jobmix import (
+        JobMixSpec,
+        build_jobmix_graph,
+        jobmix_schedule_key,
+        prepare_jobmix_schedule,
+    )
 
     register_backend(
         CommBackend(
@@ -129,6 +137,15 @@ def _ensure_defaults() -> None:
             build_graph=build_collective_graph,
             prepare_schedule=prepare_collective_schedule,
             schedule_key=lambda spec: reference_schedule_key(spec),
+        )
+    )
+    register_backend(
+        CommBackend(
+            name="jobmix",
+            spec_type=JobMixSpec,
+            build_graph=build_jobmix_graph,
+            prepare_schedule=prepare_jobmix_schedule,
+            schedule_key=jobmix_schedule_key,
         )
     )
 

@@ -1,22 +1,22 @@
-"""Experiment drivers — deprecated shims over :mod:`repro.api`.
+"""The ``tictac-repro`` command-line layer.
 
-.. deprecated::
-    The driver-function pattern (``repro.experiments.fig7.run(ctx)`` and
-    friends, one hand-written module per table/figure) is deprecated.
-    Scenarios are now declarative data in the :mod:`repro.api` registry,
-    executed by one generic engine::
+Scenarios are declarative data in the :mod:`repro.api` registry,
+executed by one generic engine; this package is the thin CLI shell over
+that facade (``python -m repro.experiments`` / the ``tictac-repro``
+console script) plus compatibility re-exports of the shared execution
+context::
 
-        from repro.api import Session
+    from repro.api import Session
 
-        with Session(scale="quick") as session:
-            rs = session.run("fig7")
-            rs.to_csv("results")
+    with Session(scale="quick") as session:
+        rs = session.run("fig7")
+        rs.to_csv("results")
 
-    Every ``run(Context)`` entry point still works — it executes the same
-    scenario through the same engine and writes the same CSVs — but emits
-    a ``DeprecationWarning``. The shared infrastructure re-exported here
-    (``Context``, ``Scale``, ``make_context``, ...) now lives in
-    :mod:`repro.api.context`.
+The legacy driver-function pattern (``repro.experiments.fig7.run(ctx)``
+and friends, one hand-written module per table/figure) was deprecated
+and has been removed; the re-exports below (``Context``, ``Scale``,
+``make_context``, ...) keep older import sites working — their
+canonical home is :mod:`repro.api.context`.
 """
 
 from .common import (
@@ -24,7 +24,6 @@ from .common import (
     FULL,
     QUICK,
     Context,
-    ExperimentOutput,
     Scale,
     make_context,
     ps_for_workers,
@@ -35,7 +34,6 @@ __all__ = [
     "FULL",
     "QUICK",
     "Context",
-    "ExperimentOutput",
     "Scale",
     "make_context",
     "ps_for_workers",

@@ -29,8 +29,9 @@ from ..api.registry import (
 
 
 def print_listing() -> None:
-    """``tictac-repro list``: scenarios, backends, engine kernels."""
+    """``tictac-repro list``: scenarios, backends, placements, kernels."""
     from ..backends import backends, spec_fields
+    from ..backends.placement import placements
     from ..sim.kernel import HAVE_NUMBA, KERNELS, resolve
     from ..timing import PLATFORMS
 
@@ -44,6 +45,9 @@ def print_listing() -> None:
     for name, backend in sorted(backends().items()):
         fields = ", ".join(spec_fields(backend.spec_type))
         print(f"  {name:<12} {backend.spec_type.__name__}({fields})")
+    print("\nplacement policies (job mixes):")
+    for name, policy in sorted(placements().items()):
+        print(f"  {name:<12} {policy.description}")
     print("\nengine kernels:")
     for name in KERNELS:
         if name == "auto":

@@ -1,26 +1,21 @@
-"""Shared experiment infrastructure (compatibility layer).
+"""Shared experiment infrastructure (compatibility re-exports).
 
-.. deprecated::
-    The hand-written driver layer this module served has been replaced
-    by the :mod:`repro.api` facade — a declarative scenario registry
-    executed by one generic engine. The execution context
-    (:class:`~repro.api.context.Context`, :class:`~repro.api.context.Scale`,
-    the quick/full protocol) now lives in :mod:`repro.api.context` and
-    :func:`make_spec` in :mod:`repro.backends`; everything is re-exported
-    here unchanged so existing imports keep working. New code should use
-    ``repro.api.Session`` / ``repro.api.execute_scenario``.
-
-Results (CSV + rendered text) land under ``results/``.
+The hand-written driver layer this module once served is gone — the
+deprecated ``experiments.<driver>.run(ctx)`` shims were deleted after a
+release of warning ``DeprecationWarning``; scenarios are declarative
+data in the :mod:`repro.api` registry, executed by one generic engine
+(``repro.api.Session`` / :func:`repro.api.execute_scenario`). The
+execution context (:class:`~repro.api.context.Context`,
+:class:`~repro.api.context.Scale`, the quick/full protocol) lives in
+:mod:`repro.api.context` and :func:`make_spec` in
+:mod:`repro.backends`; both stay re-exported here for existing imports.
 """
 
 from __future__ import annotations
 
-import os
-import time
-from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Sequence
 
-from ..analysis import format_table, write_csv
+from ..analysis import format_table
 from ..api.context import (  # noqa: F401 — canonical home: repro.api.context
     FIG7_MODELS,
     FULL,
@@ -31,51 +26,7 @@ from ..api.context import (  # noqa: F401 — canonical home: repro.api.context
     make_context,
 )
 from ..backends import make_spec  # noqa: F401 — canonical home: repro.backends
-from ..sweep.spec import ps_for_workers  # noqa: F401 — drivers import it from here
-
-
-@dataclass
-class ExperimentOutput:
-    """Uniform driver result: rows + rendered text + artifact paths.
-
-    Kept for the deprecated ``experiments.<driver>.run(ctx)`` shims;
-    :class:`repro.api.ResultSet` is its replacement."""
-
-    name: str
-    rows: list[dict]
-    text: str
-    csv_path: Optional[str] = None
-    extras: dict = field(default_factory=dict)
-    elapsed_s: float = 0.0
-
-    def __str__(self) -> str:  # pragma: no cover - convenience
-        return self.text
-
-
-def finish(
-    ctx: Context,
-    name: str,
-    rows: Sequence[Mapping[str, object]],
-    text: str,
-    *,
-    t0: float,
-    extras: Optional[dict] = None,
-) -> ExperimentOutput:
-    """Persist rows as CSV and assemble the driver output (legacy helper
-    for out-of-tree drivers; in-tree scenarios return
-    :class:`~repro.api.resultset.Report` objects instead)."""
-    csv_path = write_csv(os.path.join(ctx.results_dir, f"{name}.csv"), rows)
-    out = ExperimentOutput(
-        name=name,
-        rows=list(rows),
-        text=text,
-        csv_path=csv_path,
-        extras=extras or {},
-        elapsed_s=time.perf_counter() - t0,
-    )
-    ctx.log(text)
-    ctx.log(f"[{name}] {len(out.rows)} rows -> {csv_path} ({out.elapsed_s:.1f}s)")
-    return out
+from ..sweep.spec import ps_for_workers  # noqa: F401 — legacy import site
 
 
 def render_rows(rows: Sequence[Mapping[str, object]], title: str, **kw) -> str:

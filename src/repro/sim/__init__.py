@@ -10,9 +10,15 @@ from .config import (
 from .engine import (
     ENGINE_REV,
     CompiledCore,
-    CompiledSimulation,
     IterationRecord,
     SimVariant,
+)
+from .jobmix import (
+    JobMixGraph,
+    JobMixSpec,
+    JobSpec,
+    build_jobmix_graph,
+    prepare_jobmix_schedule,
 )
 from .metrics import IterationResult, SimulationResult, summarize_iteration
 from .pipeline import PipelinedResult, simulate_pipelined
@@ -32,12 +38,16 @@ __all__ = [
     "kernel",
     "SimConfig",
     "CompiledCore",
-    "CompiledSimulation",
     "SimVariant",
     "IterationRecord",
     "IterationResult",
     "SimulationResult",
     "summarize_iteration",
+    "JobSpec",
+    "JobMixSpec",
+    "JobMixGraph",
+    "build_jobmix_graph",
+    "prepare_jobmix_schedule",
     "PipelinedResult",
     "simulate_pipelined",
     "prepare_schedule",

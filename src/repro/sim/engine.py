@@ -38,8 +38,16 @@ iteration index).
   dense gate/priority arrays, slowdown-scaled durations, jitter sigma.
   Variant compilation touches only O(n) array fills — no graph traversal.
 
-:class:`CompiledSimulation` is the deprecated one-shot facade (compile a
-private core and bind one variant). The hot loop itself is array-native:
+**Multi-job mixes.** A core compiled from a job-mix cluster (see
+:mod:`repro.sim.jobmix`) carries job tags (``jobs``/``job_of``) and
+per-root release times (``root_times``): roots of a job with a non-zero
+arrival offset enter the event loop through deferred code-3 heap events
+instead of the t=0 init path, and a placement's ``host_map`` lets
+co-located jobs share NIC resources while keeping per-job wire channels.
+Single-job clusters leave all of this empty and execute byte-identically
+to the pre-mix engine.
+
+The hot loop itself is array-native:
 flat per-channel queues with head/tail cursors instead of ``list.pop(0)``,
 eligible-set bookkeeping that avoids rescanning ready queues, and a
 :meth:`SimVariant.run_iterations` batch API that amortizes per-iteration
@@ -61,7 +69,6 @@ golden matrix, so the kernel choice is observable only in wall time.
 from __future__ import annotations
 
 import heapq
-import warnings
 from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Optional
@@ -85,6 +92,10 @@ ENGINE_REV = 3
 _COMPUTE_DONE = 0
 _TRANSFER_DONE = 1
 _CHUNK_DONE = 2
+#: deferred root release: a job-mix root op arriving at its job's offset
+#: (offset-zero roots keep the direct make_ready init path, bit-exact
+#: with the single-job engine).
+_ROOT_ARRIVAL = 3
 
 
 @dataclass
@@ -144,6 +155,12 @@ class CompiledCore:
         )
 
         # --- resources --------------------------------------------------
+        # ``host_map`` (job-mix placements) maps logical device names onto
+        # shared physical hosts: co-located jobs then share NIC resources
+        # (and their capacity) while each logical (src, dst) device pair
+        # keeps its own wire channel — separate TCP connections round-
+        # robining on one shared NIC. Empty/missing map = dedicated hosts.
+        host_map: dict[str, str] = getattr(cluster, "host_map", None) or {}
         self._res_index: dict[str, int] = {}
         self.is_transfer = np.zeros(n, dtype=bool)
         self.op_res = np.full(n, -1, dtype=np.int64)  # compute ops
@@ -153,14 +170,20 @@ class CompiledCore:
         self.wire_base = np.zeros(n)
         self.lat = np.zeros(n)
         device_ops: dict[str, list[int]] = {}
+        tr_pair: dict[int, tuple[str, str]] = {}
         for op in g:
             if op.resource is None:
                 raise ValueError(f"op {op.name!r} has no resource tag")
             if op.resource.kind is ResourceKind.LINK:
                 src, dst = op.resource.name[len("link:"):].split("->")
+                tr_pair[op.op_id] = (src, dst)
                 self.is_transfer[op.op_id] = True
-                self.t_egress[op.op_id] = self._rid(f"nic_out:{src}")
-                self.t_ingress[op.op_id] = self._rid(f"nic_in:{dst}")
+                self.t_egress[op.op_id] = self._rid(
+                    f"nic_out:{host_map.get(src, src)}"
+                )
+                self.t_ingress[op.op_id] = self._rid(
+                    f"nic_in:{host_map.get(dst, dst)}"
+                )
                 self.wire_base[op.op_id] = op.cost / platform.bandwidth_bps
                 self.lat[op.op_id] = platform.rpc_latency_s
             else:
@@ -174,13 +197,17 @@ class CompiledCore:
         }
 
         # --- wire channels ----------------------------------------------
-        # One integer channel id per directional (egress, ingress) NIC
-        # pair, numbered by first appearance in op-id order (replacing the
-        # (egress, ingress) tuple-keyed dicts of the reference engine).
-        # ``egress_ids``/``eg_chan_lists`` preserve the reference round-
-        # robin orders: egress NICs by first transfer, channels within an
-        # egress by first transfer on that pair.
-        chan_index: dict[tuple[int, int], int] = {}
+        # One integer channel id per directional *logical* (src, dst)
+        # device pair, numbered by first appearance in op-id order. With
+        # dedicated hosts the logical pair and the (egress, ingress) NIC
+        # pair are in bijection, so the numbering is identical to the
+        # reference engine's NIC-pair keying; under a shared-host
+        # placement, co-located jobs keep distinct channels (distinct TCP
+        # connections) on the shared NICs. ``egress_ids``/``eg_chan_lists``
+        # preserve the reference round-robin orders: egress NICs by first
+        # transfer, channels within an egress by first transfer on that
+        # pair.
+        chan_index: dict[tuple[str, str], int] = {}
         self.t_chan = np.full(n, -1, dtype=np.int64)
         chan_eid: list[int] = []
         chan_iid: list[int] = []
@@ -191,7 +218,7 @@ class CompiledCore:
         for op_id in np.flatnonzero(self.is_transfer):
             op_id = int(op_id)
             eid, iid = int(self.t_egress[op_id]), int(self.t_ingress[op_id])
-            key = (eid, iid)
+            key = tr_pair[op_id]
             c = chan_index.get(key)
             if c is None:
                 c = chan_index[key] = len(chan_index)
@@ -271,6 +298,26 @@ class CompiledCore:
         # --- root ops (in-degree zero, ascending op id) ------------------
         self.roots = [int(i) for i in np.flatnonzero(self.base_indeg == 0)]
 
+        # --- job tags + arrival offsets (multi-job mixes) -----------------
+        # ``job_ops``/``job_arrivals`` are optional cluster surfaces (set
+        # by the job-mix builder): op ids per job label, and each job's
+        # arrival offset in seconds. Single-job clusters leave them empty:
+        # every root then releases at t=0 through the original init path.
+        job_ops: dict = getattr(cluster, "job_ops", None) or {}
+        job_arrivals: dict = getattr(cluster, "job_arrivals", None) or {}
+        self.jobs = tuple(job_ops)
+        self.job_of = np.full(n, -1, dtype=np.int32)
+        for j, ids in enumerate(job_ops.values()):
+            self.job_of[np.asarray(list(ids), dtype=np.int64)] = j
+        arrival_of = np.zeros(n)
+        for label, t0 in job_arrivals.items():
+            if t0:
+                ids = np.asarray(list(job_ops[label]), dtype=np.int64)
+                arrival_of[ids] = float(t0)
+        #: release time per root (parallel to ``roots``; zeros = legacy).
+        self.root_times = arrival_of[np.asarray(self.roots, dtype=np.int64)] \
+            if self.roots else np.zeros(0)
+
         # --- resource_loads index arrays ---------------------------------
         self.tr_ids = np.flatnonzero(self.is_transfer)
         self.tr_eg = self.t_egress[self.tr_ids]
@@ -323,6 +370,7 @@ class CompiledCore:
         self.t_chan_list = self.t_chan.tolist()
         self.lat_list = self.lat.tolist()
         self.capacity_list = self.capacity.tolist()
+        self.root_times_list = self.root_times.tolist()
 
     # ------------------------------------------------------------------
     def _rid(self, name: str) -> int:
@@ -956,8 +1004,15 @@ class SimVariant:
                 dispatch_compute(rid, t)
 
         # --- initialization -----------------------------------------------
-        for op in core.roots:
-            make_ready(op, 0.0)
+        # Roots with a zero arrival offset take the direct path (no heap
+        # event, no seq consumed — bit-exact with the single-job engine);
+        # deferred roots of later-arriving jobs release via code-3 events.
+        for op, rt in zip(core.roots, core.root_times_list):
+            if rt > 0.0:
+                heappush(heap, (rt, seq, 3, op))
+                seq += 1
+            else:
+                make_ready(op, 0.0)
 
         # --- main loop -----------------------------------------------------
         # The successor walk inlines make_ready: it runs once per DAG edge
@@ -980,6 +1035,9 @@ class SimVariant:
                     for other in range(n_eg):
                         if other != pos and eg_pending[other]:
                             dispatch_egress(other, t)
+                continue
+            if code == 3:  # deferred root arrival (job-mix offsets)
+                make_ready(op, t)
                 continue
             end[op] = t
             if code == 0:  # compute done
@@ -1084,29 +1142,3 @@ class SimVariant:
         return out
 
 
-class CompiledSimulation(SimVariant):
-    """Deprecated one-shot facade: compile a private :class:`CompiledCore`
-    and bind a single variant.
-
-    .. deprecated:: ENGINE_REV 3
-        Compile the core once and bind
-        ``SimVariant(CompiledCore(cluster, platform), schedule, config)``
-        per variant instead (or go through
-        :func:`repro.sim.runner.simulate_cell_group`, which shares one
-        core across a whole cell group). This shim recompiles the full
-        array set per instantiation and defeats compile-once reuse."""
-
-    def __init__(
-        self,
-        cluster: ClusterGraph,
-        platform: Platform,
-        schedule: Optional[Schedule] = None,
-        config: Optional[SimConfig] = None,
-    ) -> None:
-        warnings.warn(
-            "CompiledSimulation is deprecated: compile a CompiledCore once "
-            "and bind SimVariant(core, schedule, config) per variant",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(CompiledCore(cluster, platform), schedule, config)

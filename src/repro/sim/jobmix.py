@@ -1,0 +1,301 @@
+"""Multi-job co-scheduling: several jobs' DAGs on one shared cluster.
+
+TicTac schedules one job on a dedicated cluster; real clusters run many
+jobs whose transfers contend for shared links (Wang et al.,
+arXiv:2002.10105). This module lifts the single-job assumption without
+touching the engine's semantics for single jobs:
+
+* :class:`JobSpec` names one job — a model, a communication backend
+  ('ps'/'allreduce'), a cluster shape, a scheduling algorithm and an
+  arrival offset;
+* :class:`JobMixSpec` is a *set* of jobs plus a placement policy
+  (:mod:`repro.backends.placement`) mapping every job's logical devices
+  onto shared hosts. It is a first-class backend spec: ``SimCell`` grids,
+  :func:`repro.sim.runner.simulate_cluster`, the sweep cache and the
+  shared-core publication all consume it through the backend registry.
+
+**The union compile path.** :func:`build_jobmix_graph` builds each job's
+cluster DAG through the (memoized) backend builders, then splices them
+into one graph under per-job namespaces ``j0/``, ``j1/``, ...: op names,
+devices, parameters, chunk names and link resources are all prefixed, so
+the union is a concatenation — op ids of job *i* are the original ids
+plus an offset, and the engine's channel numbering (keyed on logical
+(src, dst) device pairs) reproduces each job's private channels exactly.
+The placement's ``host_map`` is the only coupling between jobs: devices
+sharing a host share NIC resources in the compiled core. A 1-job mix on
+the ``dedicated`` placement is **byte-identical** to the plain single-job
+path (pinned by ``tests/sim/test_jobmix_golden.py``).
+
+**Priority namespaces.** :func:`prepare_jobmix_schedule` runs the
+ordering wizard per job (memoized, per-job reference projections) and
+composes the passes by prefixing every priority key. The §5.1 counter
+groups are per (link, iteration) and links are per job, so the composed
+rank arrays are re-normalized densely within each job's own groups —
+rank arrays from independent wizard passes can never collide across
+jobs. ``algorithm='mix'`` uses each job's own :attr:`JobSpec.algorithm`;
+any other name applies one algorithm to every job.
+
+Batch-size scaling (``batch_factor``) is not supported for mixes: every
+job builds at its model's native batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..core.schedules import Schedule
+from ..graph import Graph, Op, Resource, ResourceKind
+from ..graph.dag import GraphError
+from ..ps.cluster import Transfer
+
+#: workload label reported for mixed-job results.
+MIX_WORKLOAD = "mix"
+
+
+def job_label(index: int) -> str:
+    """The namespace label of job ``index`` (``j0``, ``j1``, ...)."""
+    return f"j{index}"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job of a mix: model x backend x shape x algorithm x arrival."""
+
+    model: str
+    backend: str = "ps"
+    n_workers: int = 2
+    n_ps: int = 1
+    algorithm: str = "baseline"
+    #: arrival offset in seconds: the job's roots release at this time.
+    arrival: float = 0.0
+    workload: str = "training"
+    sharding: str = "greedy"
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if self.arrival < 0:
+            raise ValueError("arrival offset must be >= 0")
+
+    def to_spec(self):
+        """The backend spec this job's cluster DAG is built from."""
+        from ..backends import make_spec
+
+        if self.backend == "ps":
+            return make_spec(
+                "ps",
+                n_workers=self.n_workers,
+                n_ps=self.n_ps,
+                workload=self.workload,
+                sharding=self.sharding,
+            )
+        return make_spec(self.backend, n_workers=self.n_workers)
+
+    def devices(self) -> list[str]:
+        """Logical device names of this job (workers, then any PS)."""
+        spec = self.to_spec()
+        return list(spec.workers) + list(getattr(spec, "ps", []))
+
+
+@dataclass(frozen=True)
+class JobMixSpec:
+    """A set of jobs placed on one shared cluster.
+
+    Exposes the ``n_workers``/``n_ps``/``workload`` surface of a
+    single-job spec (summed over jobs) so result assembly and the sweep
+    runner consume mixes unchanged. ``n_hosts=0`` auto-sizes the shared
+    cluster to the minimum feasible host count.
+    """
+
+    jobs: tuple[JobSpec, ...]
+    placement: str = "dedicated"
+    n_hosts: int = 0
+    slots_per_host: int = 2
+    rack_size: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("a job mix needs at least one job")
+        # fail fast (with difflib hints) on unknown placement names
+        from ..backends.placement import get_placement
+
+        get_placement(self.placement)
+
+    # -- single-job-spec compatible surface -----------------------------
+    @property
+    def n_workers(self) -> int:
+        return sum(j.n_workers for j in self.jobs)
+
+    @property
+    def n_ps(self) -> int:
+        return sum(len(j.devices()) - j.n_workers for j in self.jobs)
+
+    @property
+    def workload(self) -> str:
+        kinds = {j.workload for j in self.jobs}
+        return kinds.pop() if len(kinds) == 1 else MIX_WORKLOAD
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(job_label(i) for i in range(len(self.jobs)))
+
+    def solo(self, index: int) -> "JobMixSpec":
+        """The 1-job mix of job ``index`` on dedicated hosts — the
+        denominator of slowdown-vs-dedicated metrics."""
+        return replace(
+            self, jobs=(self.jobs[index],), placement="dedicated", n_hosts=0
+        )
+
+
+@dataclass
+class JobMixGraph:
+    """The union cluster DAG of a mix (the engine's cluster surface)."""
+
+    spec: JobMixSpec
+    graph: Graph
+    #: every transfer, grouped by the (prefixed) link resource.
+    transfers_by_link: dict[Resource, list[Transfer]] = field(default_factory=dict)
+    #: op ids per (prefixed) worker device.
+    worker_ops: dict[str, list[int]] = field(default_factory=dict)
+    #: collective chunk metadata, prefixed (schedule lowering seam).
+    chunk_params: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    chunk_order: dict[str, int] = field(default_factory=dict)
+    #: op ids per job label (per-job completion accounting).
+    job_ops: dict[str, list[int]] = field(default_factory=dict)
+    #: job label -> arrival offset in seconds.
+    job_arrivals: dict[str, float] = field(default_factory=dict)
+    #: logical device -> shared host (the placement's output).
+    host_map: dict[str, str] = field(default_factory=dict)
+    n_iterations: int = 1
+
+    @property
+    def param_transfers(self) -> list[Transfer]:
+        return [
+            t
+            for transfers in self.transfers_by_link.values()
+            for t in transfers
+            if t.kind == "param"
+        ]
+
+
+def _prefixed_resource(res: Resource, prefix: str) -> Resource:
+    if res.kind is ResourceKind.LINK:
+        src, dst = res.name[len("link:"):].split("->")
+        return Resource.link(prefix + src, prefix + dst)
+    return Resource.compute(prefix + res.name[len("compute:"):])
+
+
+def build_jobmix_graph(ir, spec: JobMixSpec) -> JobMixGraph:
+    """Assemble the union DAG of ``spec``.
+
+    ``ir`` (the conventional builder argument) is ignored: a mix names
+    several models, each built at its native batch size through the
+    memoized per-job builders.
+    """
+    from ..backends import build_comm_graph
+    from ..backends.placement import place_jobs
+    from ..models import build_model
+
+    union = Graph("jobmix/" + "+".join(j.model for j in spec.jobs))
+    mix = JobMixGraph(spec=spec, graph=union)
+    devices_by_job: list[list[str]] = []
+
+    for i, job in enumerate(spec.jobs):
+        prefix = job_label(i) + "/"
+        jir = build_model(job.model)
+        jspec = job.to_spec()
+        sub = build_comm_graph(jir, jspec)
+        devices_by_job.append([prefix + d for d in job.devices()])
+
+        def rebuild(op: Op, new_id: int, _prefix=prefix) -> Op:
+            if op.resource is None:
+                raise GraphError(f"op {op.name!r} has no resource tag")
+            return Op(
+                op_id=new_id,
+                name=_prefix + op.name,
+                kind=op.kind,
+                resource=_prefixed_resource(op.resource, _prefix),
+                cost=op.cost,
+                param=_prefix + op.param if op.param else None,
+                device=_prefix + op.device if op.device else None,
+                attrs=dict(op.attrs),
+            )
+
+        mapping = union.splice(sub.graph, rebuild)
+        mix.job_ops[job_label(i)] = sorted(mapping.values())
+        mix.job_arrivals[job_label(i)] = float(job.arrival)
+        for link, transfers in sub.transfers_by_link.items():
+            new_link = _prefixed_resource(link, prefix)
+            mix.transfers_by_link[new_link] = [
+                Transfer(
+                    op_id=mapping[t.op_id],
+                    param=prefix + t.param,
+                    src=prefix + t.src,
+                    dst=prefix + t.dst,
+                    kind=t.kind,
+                    iteration=t.iteration,
+                )
+                for t in transfers
+            ]
+        for worker, ids in sub.worker_ops.items():
+            mix.worker_ops[prefix + worker] = [mapping[o] for o in ids]
+        for cname, params in (getattr(sub, "chunk_params", None) or {}).items():
+            mix.chunk_params[prefix + cname] = tuple(prefix + p for p in params)
+        for cname, order in (getattr(sub, "chunk_order", None) or {}).items():
+            mix.chunk_order[prefix + cname] = order
+
+    mix.host_map = place_jobs(
+        devices_by_job,
+        spec.placement,
+        n_hosts=spec.n_hosts,
+        slots_per_host=spec.slots_per_host,
+        rack_size=spec.rack_size,
+    )
+    return mix
+
+
+def prepare_jobmix_schedule(
+    ir,
+    spec: JobMixSpec,
+    algorithm: str,
+    platform,
+    *,
+    trace_runs: int = 5,
+    seed: int = 0,
+) -> Schedule:
+    """Compose per-job wizard passes into one namespaced schedule.
+
+    ``algorithm='mix'`` dispatches each job to its own
+    :attr:`JobSpec.algorithm`; any other name applies uniformly.
+    ``'baseline'`` jobs contribute no priorities (their transfers run
+    unordered, exactly as a single-job baseline does).
+    """
+    from ..backends import prepare_comm_schedule
+    from ..models import build_model
+
+    priorities: dict[str, int] = {}
+    algorithms: list[str] = []
+    for i, job in enumerate(spec.jobs):
+        alg = job.algorithm if algorithm == MIX_WORKLOAD else algorithm
+        algorithms.append(alg)
+        if alg == "baseline":
+            continue
+        sched = prepare_comm_schedule(
+            build_model(job.model), job.to_spec(), alg, platform,
+            trace_runs=trace_runs, seed=seed,
+        )
+        prefix = job_label(i) + "/"
+        for param, rank in sched.priorities.items():
+            priorities[prefix + param] = rank
+    return Schedule(
+        algorithm=algorithm,
+        priorities=priorities,
+        meta={"jobs": tuple(algorithms)},
+    )
+
+
+def jobmix_schedule_key(spec: JobMixSpec) -> tuple:
+    """Wizard-memo projection of a mix: the full jobs tuple (coarser
+    projections risk cross-mix collisions; placement and arrivals do not
+    influence the wizard, so they are excluded)."""
+    return ("jobmix", spec.jobs)

@@ -162,6 +162,7 @@ class CoreTables:
         )
         self.q_base = np.array(core.q_base, dtype=np.int64)
         self.roots = np.array(core.roots, dtype=np.int64)
+        self.root_times = np.ascontiguousarray(core.root_times, dtype=np.float64)
         # plain compute queues: each resource holds at most its own
         # compute-op count at once (every op is enqueued exactly once).
         counts = np.bincount(
@@ -170,8 +171,11 @@ class CoreTables:
         self.pq_base = np.zeros(core.n_res + 1, dtype=np.int64)
         np.cumsum(counts, out=self.pq_base[1:])
         # in-heap events are bounded by pending latency tails (<= n) plus
-        # concurrently active compute/chunk slots (<= sum of capacities).
-        self.heap_cap = int(n + int(self.capacity.sum()) + 64)
+        # concurrently active compute/chunk slots (<= sum of capacities)
+        # plus deferred job-mix root arrivals (<= root count).
+        self.heap_cap = int(
+            n + int(self.capacity.sum()) + self.roots.shape[0] + 64
+        )
         #: initial raw-uint64 budget per iteration; the kernel aborts and
         #: the caller doubles it in the (rare) rejection-heavy case.
         self.raw_init = 4 * n + 1024
@@ -643,7 +647,7 @@ def _event_loop(
     succ_indptr, succ_indices, base_indeg,
     is_transfer, is_chunk, op_res, t_egress, t_ingress, t_chan, lat,
     capacity, chan_iid, eg_pos, egress_ids,
-    eg_chan_indptr, eg_chan_indices, q_base, roots, pq_base,
+    eg_chan_indptr, eg_chan_indices, q_base, roots, root_times, pq_base,
     # variant tables
     hg_ch, hg_rank, dg_ch, dg_rank, prio,
     rc_indptr, rc_indices, gs_base,
@@ -687,6 +691,13 @@ def _event_loop(
     rsu = np.zeros(1, np.uint64)  # stashed high half-word
 
     for ri in range(roots.shape[0]):
+        # deferred job-mix roots release via code-3 events; zero-offset
+        # roots keep the direct path (no heap entry, no seq consumed).
+        if root_times[ri] > 0.0:
+            _heap_push(ht, hseq, hcode, hop, st, root_times[ri], 3, roots[ri])
+            if st[_STATUS] != _OK:
+                return st[_STATUS], start, end
+            continue
         _make_ready(
             roots[ri], 0.0, mode, has_dag, has_prio, random_compute, noise,
             fabric_cap,
@@ -747,6 +758,25 @@ def _event_loop(
                             ht, hseq, hcode, hop, st,
                             raw, rsi, rsu,
                         )
+            continue
+        if code == 3:  # deferred root arrival (job-mix offsets)
+            _make_ready(
+                op, t, mode, has_dag, has_prio, random_compute, noise,
+                fabric_cap,
+                is_transfer, is_chunk, op_res, t_egress, t_chan, lat,
+                capacity, active,
+                hg_ch, hg_rank, dg_ch, dg_rank, prio,
+                eg_pos, egress_ids, eg_chan_indptr, eg_chan_indices,
+                chan_iid,
+                q_base, qbuf, q_head, q_tail, ch_busy, rr_ptr, eg_pending,
+                pq_base, pq_buf, pq_stamp, pq_len,
+                rc_indptr, rc_indices,
+                gs_base, gs_stamp, gs_op, ch_handoff, ch_complete,
+                elig_stamp, elig_ch,
+                started, rem_wire, chunk_of, dur, start,
+                ht, hseq, hcode, hop, st,
+                raw, rsi, rsu,
+            )
             continue
         end[op] = t
         if code == 0:  # compute done
@@ -833,7 +863,7 @@ def execute_event_loop(variant, rng, dur, wire, chunk_of, loop):
             ct.t_ingress, ct.t_chan, ct.lat,
             ct.capacity, ct.chan_iid, ct.eg_pos, ct.egress_ids,
             ct.eg_chan_indptr, ct.eg_chan_indices, ct.q_base, ct.roots,
-            ct.pq_base,
+            ct.root_times, ct.pq_base,
             vt.hg_ch, vt.hg_rank, vt.dg_ch, vt.dg_rank, vt.prio,
             vt.rc_indptr, vt.rc_indices, vt.gs_base,
             vt.mode, vt.noise, vt.fabric_cap, vt.random_compute,

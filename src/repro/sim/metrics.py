@@ -36,6 +36,9 @@ class IterationResult:
     #: raw per-op times; kept only when SimConfig.keep_op_times is set.
     start: Optional[np.ndarray] = None
     end: Optional[np.ndarray] = None
+    #: job label -> last op finish time (multi-job mixes only; a job's
+    #: completion time is ``job_finish[j] - arrival[j]``).
+    job_finish: dict[str, float] = field(default_factory=dict)
 
     @property
     def straggler_pct(self) -> float:
@@ -136,6 +139,13 @@ def summarize_iteration(
     for worker, op_ids in cluster.worker_ops.items():
         ids = np.asarray(op_ids)
         finishes[worker] = float(record.end[ids].max())
+    # Per-job completion (multi-job mixes): last op finish per job label.
+    # Computed from the recorded end times, not in the hot loop, so both
+    # kernels produce it identically by construction.
+    job_finish: dict[str, float] = {}
+    for label, op_ids in (getattr(cluster, "job_ops", None) or {}).items():
+        ids = np.asarray(list(op_ids))
+        job_finish[label] = float(record.end[ids].max())
     loads = sim.resource_loads(record)
     report = EfficiencyReport(
         makespan=record.makespan,
@@ -149,4 +159,5 @@ def summarize_iteration(
         out_of_order_handoffs=record.out_of_order_handoffs,
         start=record.start if keep_op_times else None,
         end=record.end if keep_op_times else None,
+        job_finish=job_finish,
     )

@@ -61,8 +61,11 @@ def simulate_cluster(
     ``core`` short-circuits array compilation when sweeping algorithms
     over one configuration (see :func:`simulate_cell_group`). ``spec``
     selects the communication backend by type: a PS
-    :class:`~repro.ps.cluster.ClusterSpec` or a collective
-    :class:`~repro.collectives.CollectiveSpec`.
+    :class:`~repro.ps.cluster.ClusterSpec`, a collective
+    :class:`~repro.collectives.CollectiveSpec`, or a multi-job
+    :class:`~repro.sim.jobmix.JobMixSpec` (several jobs unioned onto
+    shared hosts; per-job completions land in
+    ``IterationResult.job_finish``).
     """
     plat = get_platform(platform) if isinstance(platform, str) else platform
     cfg = config or SimConfig()

@@ -17,7 +17,7 @@ RESULT_FORMAT = 1
 
 
 def iteration_to_dict(it: IterationResult) -> dict:
-    return {
+    data = {
         "makespan": it.makespan,
         "worker_finish": dict(it.worker_finish),
         "efficiency": {
@@ -27,6 +27,11 @@ def iteration_to_dict(it: IterationResult) -> dict:
         },
         "out_of_order_handoffs": it.out_of_order_handoffs,
     }
+    # job-mix extension: emitted only when present so single-job cache
+    # entries keep their pre-mix byte layout.
+    if it.job_finish:
+        data["job_finish"] = dict(it.job_finish)
+    return data
 
 
 def iteration_from_dict(data: dict) -> IterationResult:
@@ -38,6 +43,7 @@ def iteration_from_dict(data: dict) -> IterationResult:
             makespan=eff["makespan"], upper=eff["upper"], lower=eff["lower"]
         ),
         out_of_order_handoffs=data["out_of_order_handoffs"],
+        job_finish=dict(data.get("job_finish", {})),
     )
 
 

@@ -62,6 +62,8 @@ ARRAY_ATTRS = (
     "tr_in",
     "comp_ids",
     "comp_res",
+    "root_times",
+    "job_of",
 )
 
 #: plain-python core attributes shipped in the header.
@@ -81,6 +83,7 @@ STATE_ATTRS = (
     "chunk_param_names",
     "param_groups",
     "roots",
+    "jobs",
     "platform",
 )
 
@@ -101,6 +104,10 @@ class DetachedCluster:
     worker_ops: dict
     chunk_params: dict = field(default_factory=dict)
     chunk_order: dict = field(default_factory=dict)
+    #: job-mix surfaces (empty for single-job clusters): op ids per job
+    #: label and per-job arrival offsets, read by the metrics layer.
+    job_ops: dict = field(default_factory=dict)
+    job_arrivals: dict = field(default_factory=dict)
     graph: _DetachedGraph = field(default_factory=_DetachedGraph)
 
 
@@ -176,6 +183,11 @@ def publish(core: CompiledCore, meta: dict) -> SharedCoreHandle:
             worker_ops={w: list(ids) for w, ids in cluster.worker_ops.items()},
             chunk_params=dict(getattr(cluster, "chunk_params", {}) or {}),
             chunk_order=dict(getattr(cluster, "chunk_order", {}) or {}),
+            job_ops={
+                j: list(ids)
+                for j, ids in (getattr(cluster, "job_ops", None) or {}).items()
+            },
+            job_arrivals=dict(getattr(cluster, "job_arrivals", None) or {}),
         )
         header = pickle.dumps(
             {"state": state, "meta": dict(meta)}, protocol=pickle.HIGHEST_PROTOCOL

@@ -28,6 +28,11 @@ from ..graph import Graph, Op, OpKind
 from .oracle import TimeOracle
 
 
+def _basename(device: str) -> str:
+    """Device name with any job-mix namespace (``j0/``) stripped."""
+    return device.rsplit("/", 1)[-1]
+
+
 @dataclass(frozen=True)
 class Platform:
     """Hardware model translating work units into seconds.
@@ -70,13 +75,19 @@ class Platform:
     ps_nic_slots: int = 1
 
     def nic_slots(self, device: str) -> int:
-        """Concurrent full-rate connections of ``device``'s NIC."""
-        return self.ps_nic_slots if device.startswith("ps") else 1
+        """Concurrent full-rate connections of ``device``'s NIC.
+
+        Device roles are read from the basename after any job-mix
+        namespace prefix (``j0/ps:1`` is a PS). Shared multi-job hosts
+        (``host:N``) are commodity machines: one full-rate connection.
+        """
+        return self.ps_nic_slots if _basename(device).startswith("ps") else 1
 
     # ------------------------------------------------------------------
     def compute_time(self, flops: float, device: str = "worker") -> float:
         """Seconds to execute ``flops`` on a worker or PS compute resource."""
-        rate = self.worker_flops if device.startswith("worker") else self.ps_flops
+        is_worker = _basename(device).startswith("worker")
+        rate = self.worker_flops if is_worker else self.ps_flops
         return self.op_overhead_s + flops / rate
 
     def transfer_time(self, nbytes: float) -> float:

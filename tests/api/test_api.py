@@ -107,7 +107,7 @@ def test_registry_covers_every_table_and_figure():
     assert names == (
         "table1", "motivation", "fig7", "fig8", "fig9", "fig10", "fig11",
         "fig12", "fig13", "headline", "ablations", "stragglers",
-        "pipelining", "allreduce",
+        "pipelining", "allreduce", "jobmix_contention", "jobmix_crosstalk",
     )
 
 
@@ -139,11 +139,20 @@ def test_register_scenario_makes_it_runnable(ctx):
 # ----------------------------------------------------------------------
 
 def test_fig7_grid_resolution_matches_legacy_gridspec(ctx):
-    from repro.experiments import fig7 as fig7_shim
+    from repro.api.scenarios import FIG7_GRID
+    from repro.sweep import GridSpec
 
     sc = scenario("fig7")
     cells = sc.grid.resolve(ctx.scale, sc.bind(), ctx.sim_config)
-    legacy = fig7_shim.grid(ctx, "tic").cells(ctx.sim_config())
+    # the grid the deleted fig7 driver built, spelled out
+    legacy = GridSpec(
+        models=ctx.scale.models,
+        workloads=FIG7_GRID.workloads,
+        worker_counts=ctx.scale.worker_counts,
+        ps_from_workers=True,
+        algorithms=("tic",),
+        platforms=FIG7_GRID.platforms,
+    ).cells(ctx.sim_config())
     assert cells == legacy
 
 

@@ -99,36 +99,17 @@ def test_make_spec_valid_specs_still_build():
     assert spec.topology == "ring"
 
 
-# -- deprecated driver shims -------------------------------------------
+# -- the deprecated driver layer stays deleted --------------------------
 
-def test_driver_shim_warns_and_matches_new_path(ctx, tmp_path):
-    from repro.experiments import table1
-
-    new = execute_scenario(ctx, "table1")
-    with pytest.warns(DeprecationWarning, match="table1"):
-        old = table1.run(ctx)
-    assert old.rows == new.rows
-    assert old.name == new.name
-    assert os.path.exists(old.csv_path)
-
-
-def test_every_driver_shim_warns(ctx, monkeypatch):
-    """Every legacy driver module's run() must emit DeprecationWarning.
-    Execution is stubbed out so this stays cheap (the scenarios already
-    regenerate in the parametrized test above)."""
+def test_driver_shims_are_gone():
+    """The legacy ``repro.experiments.<driver>.run(ctx)`` modules were
+    deprecated for a release and then removed; scenarios are reachable
+    only through the registry/engine (and the CLI shell over it)."""
     import importlib
 
-    from repro.experiments import _shim
-
-    def _stop(ctx, sc, **overrides):
-        raise RuntimeError("stop before simulating")
-
-    monkeypatch.setattr(_shim, "execute_scenario", _stop)
-    for name in scenario_names():
-        module = importlib.import_module(f"repro.experiments.{name}")
-        with pytest.warns(DeprecationWarning, match=name):
-            with pytest.raises(RuntimeError, match="stop before"):
-                module.run(ctx)
+    for name in ("table1", "fig7", "allreduce", "_shim"):
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module(f"repro.experiments.{name}")
 
 
 # -- CLI ----------------------------------------------------------------

@@ -32,7 +32,6 @@ from repro.collectives import CollectiveSpec
 from repro.backends import build_comm_graph
 from repro.sim import (
     CompiledCore,
-    CompiledSimulation,
     SimConfig,
     SimVariant,
     kernel,
@@ -275,12 +274,12 @@ def test_kernel_choice_shares_cache_entries():
     assert len(keys) == 1
 
 
-def test_compiled_simulation_is_deprecated():
-    ir, cluster = build_cluster("ps")
-    with pytest.warns(DeprecationWarning, match="CompiledCore"):
-        sim = CompiledSimulation(cluster, FLAT, None, SimConfig(iterations=1))
-    # ... but still works (back-compat facade)
-    assert sim.run_iteration(0).makespan > 0
+def test_compiled_simulation_is_gone():
+    """The deprecated one-shot facade was removed; CompiledCore+SimVariant
+    is the only compile path."""
+    import repro.sim as sim_module
+
+    assert not hasattr(sim_module, "CompiledSimulation")
 
 
 def test_variant_reports_resolved_kernel(monkeypatch):

@@ -61,18 +61,16 @@ class TestKeyStability:
         assert len(set(keys + [base])) == len(variants) + 1
 
     def test_fn_task_keys(self):
-        a = FnTask(fn="repro.experiments.table1:model_characteristics",
+        a = FnTask(fn="repro.api.scenarios:model_characteristics",
                    kwargs=(("name", "AlexNet v2"),))
-        b = FnTask(fn="repro.experiments.table1:model_characteristics",
+        b = FnTask(fn="repro.api.scenarios:model_characteristics",
                    kwargs=(("name", "AlexNet v2"),))
-        c = FnTask(fn="repro.experiments.table1:model_characteristics",
+        c = FnTask(fn="repro.api.scenarios:model_characteristics",
                    kwargs=(("name", "VGG-16"),))
         assert a.cache_key_material() == b.cache_key_material()
         assert a.cache_key_material() != c.cache_key_material()
 
     def test_fn_task_make_sorts_kwargs(self):
-        # canonical home since the api redesign; repro.experiments.table1
-        # re-exports it for backward compatibility
         from repro.api.scenarios import model_characteristics
 
         task = FnTask.make(model_characteristics, name="AlexNet v2")

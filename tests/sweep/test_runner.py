@@ -145,7 +145,7 @@ class TestCacheBehavior:
 
     def test_fn_tasks_cache(self, tmp_path):
         runner = SweepRunner(jobs=1, cache_dir=str(tmp_path))
-        task = FnTask(fn="repro.experiments.table1:model_characteristics",
+        task = FnTask(fn="repro.api.scenarios:model_characteristics",
                       kwargs=(("name", "AlexNet v2"),))
         first, = runner.run_tasks([task])
         assert runner.stats.misses == 1
@@ -170,7 +170,7 @@ class TestParallel:
 
     def test_parallel_tasks_equal_serial(self):
         tasks = [
-            FnTask(fn="repro.experiments.table1:model_characteristics",
+            FnTask(fn="repro.api.scenarios:model_characteristics",
                    kwargs=(("name", name),))
             for name in ("AlexNet v2", "Inception v1")
         ]
