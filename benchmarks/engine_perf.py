@@ -39,6 +39,13 @@ Workloads (chosen to cover both engine regimes):
   job arriving mid-flight) packed onto shared hosts on envC: the
   multi-job union path — deferred root releases, shared-NIC channel
   contention, per-job completion accounting.
+
+``trace-overhead`` times every workload twice — ``SimConfig(trace=False)``
+vs ``trace=True`` — and prints the per-workload overhead of turning event
+recording on. Tracing *off* is free by construction (the flag only adds
+side-array writes behind a branch, and the untraced workloads above are
+what ``check`` gates), so this stage documents the opt-in cost instead of
+gating it; ``--update pr7`` records it in ``BENCH_engine.json``.
 """
 
 from __future__ import annotations
@@ -55,7 +62,7 @@ import numpy as np
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_engine.json")
 
 
-def build_workloads(kernel: str = "auto"):
+def build_workloads(kernel: str = "auto", trace: bool = False):
     from repro.core import Schedule
     from repro.models import build_model
     from repro.ps import ClusterSpec, build_cluster_graph
@@ -73,9 +80,10 @@ def build_workloads(kernel: str = "auto"):
     cluster = build_cluster_graph(ir, ClusterSpec(4, 1, "training"))
     core = CompiledCore(cluster, ENV_G)
     layerwise = Schedule("layerwise", {p.name: i for i, p in enumerate(ir.params)})
-    plain = SimVariant(core, None, SimConfig(kernel=kernel))
+    plain = SimVariant(core, None, SimConfig(kernel=kernel, trace=trace))
     sched = SimVariant(core, layerwise,
-                       SimConfig(enforcement="sender", kernel=kernel))
+                       SimConfig(enforcement="sender", kernel=kernel,
+                                 trace=trace))
 
     mix_spec = JobMixSpec(
         jobs=(
@@ -87,7 +95,7 @@ def build_workloads(kernel: str = "auto"):
     )
     mix_core = CompiledCore(build_jobmix_graph(None, mix_spec),
                             get_platform("envC"))
-    mix = SimVariant(mix_core, None, SimConfig(kernel=kernel))
+    mix = SimVariant(mix_core, None, SimConfig(kernel=kernel, trace=trace))
 
     return {
         "iteration_unscheduled": (lambda: plain.run_iteration(0), 1),
@@ -122,10 +130,11 @@ def _calibration_kernel() -> float:
     return acc
 
 
-def measure(repeats: int = 5, kernel: str = "auto") -> tuple[dict, float, str]:
+def measure(repeats: int = 5, kernel: str = "auto",
+            trace: bool = False) -> tuple[dict, float, str]:
     """(seconds-per-iteration per workload, calibration seconds, resolved
     kernel name)."""
-    workloads, resolved = build_workloads(kernel)
+    workloads, resolved = build_workloads(kernel, trace)
     results = {}
     for name, (fn, per_call) in workloads.items():
         fn()  # warm caches (allocator, first-touch numpy paths, JIT)
@@ -165,7 +174,8 @@ def _gate_baseline(bench: dict, resolved: str) -> tuple[dict, float, str]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("command", choices=["measure", "check"])
+    parser.add_argument("command",
+                        choices=["measure", "check", "trace-overhead"])
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional slowdown vs baseline (check)")
@@ -173,8 +183,9 @@ def main(argv=None) -> int:
                         choices=["auto", "python", "numba", "portable"],
                         help="event-loop kernel to measure (ISSUE 4 seam); "
                         "explicit 'numba' fails loudly when numba is missing")
-    parser.add_argument("--update", choices=["before", "after", "pr4"],
-                        help="write measurements into BENCH_engine.json")
+    parser.add_argument("--update", choices=["before", "after", "pr4", "pr7"],
+                        help="write measurements into BENCH_engine.json "
+                        "(pr7 records the trace-overhead stage)")
     parser.add_argument("--min-numba-speedup", type=float, default=1.5,
                         help="when checking --kernel numba WITHOUT a committed "
                         "pr4[numba] stage entry, require at least this "
@@ -182,6 +193,8 @@ def main(argv=None) -> int:
                         "compiles-but-interprets runs at python speed and "
                         "must fail, not slip through the fallback gate")
     args = parser.parse_args(argv)
+    if args.command == "trace-overhead":
+        return trace_overhead(args)
     if args.command == "check" and args.kernel == "portable":
         parser.error(
             "--kernel portable is a debug path (the array kernel, "
@@ -266,6 +279,37 @@ def main(argv=None) -> int:
                       file=sys.stderr)
             return 1
         print("engine perf within tolerance")
+    return 0
+
+
+def trace_overhead(args) -> int:
+    """Time each workload untraced then traced and report the opt-in
+    cost of event recording. Informational (the ``check`` gate times the
+    untraced path, which the trace flag leaves untouched); ``--update
+    pr7`` records the stage in ``BENCH_engine.json``."""
+    untraced, calibration, resolved = measure(args.repeats, args.kernel)
+    traced, _, _ = measure(args.repeats, args.kernel, trace=True)
+    overhead = {
+        name: round(traced[name] / untraced[name] - 1.0, 4)
+        for name in untraced
+    }
+    print(f"kernel: {resolved}")
+    for name in untraced:
+        print(f"  {name}: {untraced[name]*1e3:.1f} ms untraced, "
+              f"{traced[name]*1e3:.1f} ms traced ({overhead[name]:+.1%})")
+    if args.update == "pr7":
+        bench = load_baseline()
+        bench.setdefault("pr7_trace", {})[_stage_key(resolved)] = {
+            "kernel": resolved,
+            "untraced": {k: round(v, 6) for k, v in untraced.items()},
+            "traced": {k: round(v, 6) for k, v in traced.items()},
+            "overhead_frac": overhead,
+            "calibration": round(calibration, 6),
+        }
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(bench, fh, indent=1)
+            fh.write("\n")
+        print(f"updated 'pr7_trace' in {BASELINE_PATH}")
     return 0
 
 

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from ..obs.telemetry import memo_counters
 from ..sim.engine import ENGINE_REV
 from ..sim.kernel import resolve as resolve_kernel
 from ..sim.metrics import SimulationResult
@@ -83,6 +84,8 @@ def execute_scenario(
     t0 = time.perf_counter()
     params = scenario.bind(**overrides)
     stats_before = ctx.sweep.stats.as_dict()
+    telemetry_before = ctx.sweep.telemetry.as_dict()
+    memo_before = memo_counters()
 
     run = ScenarioRun(ctx=ctx, scenario=scenario, params=params)
     if scenario.grid is not None:
@@ -95,6 +98,18 @@ def execute_scenario(
     report: Report = registry.analysis(scenario.analyze)(run)
 
     stats_after = ctx.sweep.stats.as_dict()
+    # telemetry delta for this scenario: runner counters, on-disk cache
+    # activity and the driver process's memo hits (see repro.obs.telemetry)
+    telemetry = ctx.sweep.telemetry.delta_since(telemetry_before)
+    for name, value in stats_after.items():
+        d = value - stats_before[name]
+        if d:
+            telemetry[f"cache_{name}"] = float(d)
+    for name, value in memo_counters().items():
+        d = value - memo_before.get(name, 0.0)
+        if d:
+            telemetry[name] = d
+    telemetry = dict(sorted(telemetry.items()))
     # Resolve the kernel the run's SimConfigs actually selected: grid
     # scenarios carry it on their cells (a sim=(('kernel', ...),) override
     # is honoured); callback-built cells share ctx.sim_config's default.
@@ -120,6 +135,7 @@ def execute_scenario(
         tables=dict(report.tables),
         extras=dict(report.extras),
         provenance=provenance,
+        telemetry=telemetry,
     )
     ctx.log(report.text)
     ctx.log(

@@ -123,9 +123,11 @@ def _job_stats(res, mix: JobMixScenario) -> tuple[dict[str, float], float]:
     return jct, makespan
 
 
-@register_analysis("jobmix")
-def _jobmix(run: ScenarioRun) -> Report:
-    mix: JobMixScenario = run.param("mix")
+def _mix_tables(run: ScenarioRun, mix: JobMixScenario) -> tuple:
+    """The JCT/fairness tables every job-mix analysis shares: per-job
+    rows, the placement summary, and the cell factory (so callers can
+    re-derive any cell, e.g. to trace it). Numbers are identical through
+    every caller — the sweep cache sees one cell set."""
     cells = mix.cells(run.sim_config())
     by_cell = dict(zip(cells, run.sweep.run_cells(cells)))
 
@@ -187,7 +189,10 @@ def _jobmix(run: ScenarioRun) -> Report:
                     f"{makespan:.4f}s ({makespan / ded_makespan:.3f}x "
                     f"dedicated), worst slowdown {worst:.3f}x"
                 )
+    return rows, summary, cell_for
 
+
+def _mix_report(run: ScenarioRun, rows, summary) -> Report:
     summary_name = f"{run.scenario.output}_summary"
     text = (
         render_rows(rows, run.scenario.title)
@@ -195,6 +200,60 @@ def _jobmix(run: ScenarioRun) -> Report:
         + render_rows(summary, "placement summary (makespan + fairness)")
     )
     return Report(rows=rows, text=text, tables={summary_name: summary})
+
+
+@register_analysis("jobmix")
+def _jobmix(run: ScenarioRun) -> Report:
+    mix: JobMixScenario = run.param("mix")
+    rows, summary, _ = _mix_tables(run, mix)
+    return _mix_report(run, rows, summary)
+
+
+@register_analysis("jobmix_starvation")
+def _jobmix_starvation(run: ScenarioRun) -> Report:
+    """The oversubscribed-rack starvation study (ROADMAP follow-up to
+    ``jobmix_crosstalk``): the standard JCT/fairness tables, joined with
+    the :mod:`repro.obs` per-job diagnostics — each (algorithm,
+    placement) cell is traced for one measured iteration and its per-job
+    transfer-wait starvation ratios, peak link utilization and priority
+    inversions land in the tables. Answers "does one job's TAC starve a
+    neighbour under skewed 4-job mixes?" with queue-level evidence
+    rather than end-time inference.
+    """
+    from ..obs.capture import trace_cell
+
+    mix: JobMixScenario = run.param("mix")
+    rows, summary, cell_for = _mix_tables(run, mix)
+    by_key = {(r["algorithm"], r["placement"], r["job"]): r for r in rows}
+    for algorithm in mix.algorithms:
+        for placement in mix.all_placements():
+            cap = trace_cell(cell_for(algorithm, placement))
+            trace = cap.trace
+            for stats in trace.job_stats():
+                row = by_key[(algorithm, placement, stats["job"])]
+                row["mean_transfer_wait_s"] = round(
+                    stats["mean_transfer_wait_s"], 6
+                )
+                row["starvation"] = round(stats["starvation"], 4)
+            _, util = trace.link_utilization(bins=40)
+            peak = max(float(u.max()) for u in util.values())
+            srow = next(
+                s
+                for s in summary
+                if s["algorithm"] == algorithm and s["placement"] == placement
+            )
+            srow["max_starvation"] = round(
+                max(s["starvation"] for s in trace.job_stats()), 4
+            )
+            srow["peak_link_util"] = round(peak, 4)
+            srow["priority_inversions"] = trace.out_of_order_handoffs
+            if placement != "dedicated":
+                run.log(
+                    f"  starvation {algorithm} {placement}: max "
+                    f"{srow['max_starvation']:.2f}x mean wait, peak link "
+                    f"util {peak:.2f}"
+                )
+    return _mix_report(run, rows, summary)
 
 
 # ======================================================================
@@ -244,6 +303,25 @@ register_scenario(Scenario(
     tags=("jobmix", "extension"),
 ))
 
+#: Four jobs, twelve logical devices, twelve host slots on two racks
+#: (4+2 hosts at rack_size=4): zero headroom, so every placement except
+#: ``dedicated`` co-locates somebody. The mix is deliberately skewed —
+#: two communication-heavy VGG-16 TAC jobs bracketing two lighter TIC
+#: jobs, arrivals staggered — the shape the ROADMAP flagged as the open
+#: starvation question after ``jobmix_crosstalk`` cleared 2-job mixes.
+STARVATION_MIX = JobMixScenario(
+    jobs=(
+        JobSpec("VGG-16", n_workers=2, n_ps=1, algorithm="tac"),
+        JobSpec("Inception v1", n_workers=2, n_ps=1, algorithm="tic", arrival=1.0),
+        JobSpec("AlexNet v2", n_workers=2, n_ps=1, algorithm="tic", arrival=2.0),
+        JobSpec("VGG-16", n_workers=2, n_ps=1, algorithm="tac", arrival=3.0),
+    ),
+    placements=("packed", "rack_aware"),
+    platform="envC",
+    algorithms=("baseline", "mix"),
+    n_hosts=6,
+)
+
 register_scenario(Scenario(
     name="jobmix_crosstalk",
     title="Job-mix crosstalk: TIC and TAC jobs co-scheduled (envC)",
@@ -257,4 +335,19 @@ register_scenario(Scenario(
     extras_csv=(("summary_csv", "jobmix_crosstalk_summary"),),
     params=(("mix", CROSSTALK_MIX),),
     tags=("jobmix", "extension"),
+))
+
+register_scenario(Scenario(
+    name="jobmix_starvation",
+    title="Job-mix starvation: four skewed jobs on an oversubscribed rack (envC)",
+    output="jobmix_starvation",
+    analyze="jobmix_starvation",
+    backends=("jobmix",),
+    platforms=("envC",),
+    models=("VGG-16", "Inception v1", "AlexNet v2"),
+    algorithms=("baseline", "tic", "tac"),
+    aux_outputs=("jobmix_starvation_summary",),
+    extras_csv=(("summary_csv", "jobmix_starvation_summary"),),
+    params=(("mix", STARVATION_MIX),),
+    tags=("jobmix", "extension", "observability"),
 ))

@@ -85,6 +85,21 @@ class ResultSet:
     tables: dict[str, Rows] = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
     provenance: Optional[Provenance] = None
+    #: run telemetry: the sweep runner's counter deltas over this
+    #: scenario (cells requested/deduped/cached/simulated, worker wall
+    #: time, shared-core activity, cache and memo hit/miss counts — see
+    #: :mod:`repro.obs.telemetry` for the schema). Empty when the run
+    #: touched no sweep machinery.
+    telemetry: dict = field(default_factory=dict)
+
+    def telemetry_rows(self) -> Rows:
+        """Telemetry as tidy ``{"counter", "value"}`` rows (CSV-ready;
+        fold several result sets back together with
+        :func:`repro.obs.telemetry.merge_rows`)."""
+        return [
+            {"counter": name, "value": value}
+            for name, value in sorted(self.telemetry.items())
+        ]
 
     @property
     def schema(self) -> tuple[str, ...]:

@@ -208,6 +208,21 @@ def backend_for_spec(spec) -> CommBackend:
 
 _graph_memo: dict[tuple, object] = {}
 
+#: in-process memo hit/miss counters, read by :mod:`repro.obs.telemetry`
+#: into run telemetry. Per-process: pool workers count their own memos
+#: (the runner surfaces the driver-process view).
+_memo_stats = {
+    "graph_memo_hits": 0,
+    "graph_memo_misses": 0,
+    "wizard_memo_hits": 0,
+    "wizard_memo_misses": 0,
+}
+
+
+def memo_stats() -> dict:
+    """Snapshot of this process's graph/wizard memo hit-miss counters."""
+    return dict(_memo_stats)
+
 
 def build_comm_graph(ir, spec, **kwargs):
     """Assemble the cluster DAG for ``spec``, whichever backend owns it.
@@ -225,10 +240,13 @@ def build_comm_graph(ir, spec, **kwargs):
     key = (ir.structural_fingerprint(), spec)
     graph = _graph_memo.get(key)
     if graph is None:
+        _memo_stats["graph_memo_misses"] += 1
         graph = backend.build_graph(ir, spec)
         while len(_graph_memo) >= _GRAPH_MEMO_CAP:
             _graph_memo.pop(next(iter(_graph_memo)))
         _graph_memo[key] = graph
+    else:
+        _memo_stats["graph_memo_hits"] += 1
     return graph
 
 
@@ -278,12 +296,15 @@ def prepare_comm_schedule(
     )
     schedule = _schedule_memo.get(key)
     if schedule is None:
+        _memo_stats["wizard_memo_misses"] += 1
         schedule = backend.prepare_schedule(
             ir, spec, algorithm, platform, trace_runs=trace_runs, seed=seed
         )
         while len(_schedule_memo) >= _MEMO_CAP:
             _schedule_memo.pop(next(iter(_schedule_memo)))
         _schedule_memo[key] = schedule
+    else:
+        _memo_stats["wizard_memo_hits"] += 1
     return schedule
 
 

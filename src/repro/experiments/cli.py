@@ -10,11 +10,18 @@ Usage::
     python -m repro.experiments table1 fig7 fig12      # selected scenarios
     python -m repro.experiments all --full             # the whole paper
     tictac-repro fig13 --results-dir out/              # console script
+    tictac-repro trace headline                        # Perfetto trace
+
+``trace`` captures one traced iteration of one scenario cell
+(:func:`repro.obs.capture.capture_trace`) and writes it through an
+exporter — Chrome trace-event JSON for https://ui.perfetto.dev by
+default, tidy per-op CSV with ``--exporter csv``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -28,10 +35,18 @@ from ..api.registry import (
 )
 
 
+#: exporter name -> one-line description for the listing.
+_EXPORTER_NOTES = {
+    "chrome": "Chrome trace-event JSON (load at https://ui.perfetto.dev)",
+    "csv": "tidy per-op rows (ready/start/end/wait/depth/priority)",
+}
+
+
 def print_listing() -> None:
     """``tictac-repro list``: scenarios, backends, placements, kernels."""
     from ..backends import backends, spec_fields
     from ..backends.placement import placements
+    from ..obs.export import EXPORTERS
     from ..sim.kernel import HAVE_NUMBA, KERNELS, resolve
     from ..timing import PLATFORMS
 
@@ -57,10 +72,95 @@ def print_listing() -> None:
         else:
             note = "available"
         print(f"  {name:<12} {note}")
+    print("\ntrace exporters (tictac-repro trace <scenario> --exporter NAME):")
+    for name in sorted(EXPORTERS):
+        print(f"  {name:<12} {_EXPORTER_NOTES.get(name, '')}")
     print("\nplatforms: " + ", ".join(sorted(PLATFORMS)))
 
 
+def trace_main(argv: Sequence[str]) -> int:
+    """``tictac-repro trace <scenario>``: capture + export one traced
+    iteration (no sweep pool, no cache — a few seconds at quick scale)."""
+    parser = argparse.ArgumentParser(
+        prog="tictac-repro trace",
+        description="Trace one iteration of one scenario cell and export "
+        "it (Perfetto JSON or per-op CSV).",
+    )
+    parser.add_argument("scenario", help="registered scenario name, e.g. "
+                        "'headline' or 'jobmix_crosstalk'")
+    parser.add_argument("--exporter", default="chrome",
+                        help="output format: 'chrome' (Perfetto JSON, "
+                        "default) or 'csv' (per-op rows)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="output path (default: "
+                        "<results-dir>/trace_<scenario>.<ext>)")
+    parser.add_argument("--cell", type=int, default=0, metavar="N",
+                        help="which resolved cell to trace (default: first)")
+    parser.add_argument("--iteration", type=int, default=None, metavar="I",
+                        help="iteration index (default: first measured)")
+    parser.add_argument("--kernel", default=None,
+                        help="event-loop kernel override (python/portable/"
+                        "numba; streams are identical, only speed differs)")
+    parser.add_argument("--full", action="store_true",
+                        help="resolve the scenario at full (paper) scale")
+    parser.add_argument("--results-dir", default="results")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(list(argv))
+
+    from ..obs.capture import capture_trace
+    from ..obs.export import UnknownExporterError, get_exporter, validate_chrome_trace
+
+    try:
+        exporter = get_exporter(args.exporter)
+    except UnknownExporterError as exc:
+        parser.error(str(exc))
+    try:
+        scenario(args.scenario)
+    except UnknownScenarioError as exc:
+        parser.error(str(exc))
+    try:
+        cap = capture_trace(
+            args.scenario,
+            scale="full" if args.full else "quick",
+            seed=args.seed,
+            cell_index=args.cell,
+            iteration=args.iteration,
+            kernel=args.kernel,
+        )
+    except ValueError as exc:  # scenario with no simulation cells
+        parser.error(str(exc))
+    ext = "json" if args.exporter == "chrome" else "csv"
+    out = args.out or os.path.join(
+        args.results_dir, f"trace_{args.scenario}.{ext}"
+    )
+    os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+    exporter(cap.trace, out)
+    if args.exporter == "chrome":
+        validate_chrome_trace(out)
+    if not args.quiet:
+        cell, summary = cap.cell, cap.trace.summary()
+        print(
+            f"traced {args.scenario} cell {args.cell}: {cell.model} "
+            f"{cell.algorithm} on {cell.platform} "
+            f"(iteration {cap.iteration}, kernel {cap.kernel})"
+        )
+        print(
+            f"  makespan {summary['makespan_s']:.4f}s, "
+            f"{summary['n_ops']} ops, "
+            f"{summary['n_chunk_events']} wire chunks, "
+            f"overlap {summary['overlap_frac']:.2f}, "
+            f"{summary['priority_inversions']} priority inversions"
+        )
+        print(f"  {args.exporter} -> {out}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="tictac-repro",
         description="Regenerate the tables and figures of the TicTac paper.",
@@ -70,7 +170,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         nargs="*",
         metavar="SCENARIO",
         help="which scenarios to run ('all' for every table/figure, "
-        "'list' to enumerate scenarios/backends/kernels): "
+        "'list' to enumerate scenarios/backends/exporters/kernels, "
+        "'trace <scenario>' to capture a Perfetto trace): "
         + ", ".join(scenario_names()),
     )
     scale = parser.add_mutually_exclusive_group()

@@ -99,6 +99,14 @@ class SimConfig:
     #: event-loop kernel (see ENGINE_KERNELS). Excluded from sweep cache
     #: keys: every kernel is bit-exact, so results are interchangeable.
     kernel: str = "auto"
+    #: record per-op trace events (queue-enter, dispatch, finish, queue
+    #: depth, per-chunk wire occupancy) on each ``IterationRecord`` (see
+    #: :mod:`repro.obs`). Tracing is observational only — it consumes no
+    #: RNG and never changes event order, so results are bit-identical
+    #: with tracing on or off. Excluded from sweep cache keys (like
+    #: ``kernel``): a traced run produces the same numbers as an
+    #: untraced one.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.enforcement not in ENFORCEMENT_MODES:

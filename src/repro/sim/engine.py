@@ -77,6 +77,7 @@ import numpy as np
 
 from ..core.schedules import Schedule, chunk_ranks
 from ..graph import OpKind, ResourceKind
+from ..obs.events import TraceEvents
 from ..ps.cluster import ClusterGraph
 from ..timing import Platform
 from . import kernel as _kernel
@@ -111,6 +112,10 @@ class IterationRecord:
     #: count of param transfers that hit the wire out of priority order
     #: (the residual gRPC reordering the paper measured at 0.4-0.5%).
     out_of_order_handoffs: int = 0
+    #: raw per-op event streams when ``SimConfig.trace`` is on (see
+    #: :mod:`repro.obs`), ``None`` otherwise. Tracing is observational:
+    #: every other field is bit-identical with tracing on or off.
+    trace: Optional[TraceEvents] = None
 
 
 def _find_activation(g, transfer_op_id: int) -> Optional[int]:
@@ -679,18 +684,20 @@ class SimVariant:
         Bit-exact with :meth:`_execute`: the kernel replays the same
         event order and consumes the same RNG stream (see
         :mod:`repro.sim.kernel`)."""
-        start_arr, end_arr = _kernel.execute_event_loop(
+        start_arr, end_arr, traced = _kernel.execute_event_loop(
             self, rng, dur, wire, chunk_of, self._kernel_loop
         )
         if np.isnan(end_arr).any():  # pragma: no cover - would indicate a bug
             stuck = int(np.isnan(end_arr).sum())
             raise RuntimeError(f"simulation deadlock: {stuck} ops never ran")
+        trace = None if traced is None else TraceEvents(*traced)
         return IterationRecord(
             makespan=float(np.nanmax(end_arr)),
             start=start_arr,
             end=end_arr,
             dedicated=dedicated,
             out_of_order_handoffs=self._count_out_of_order(start_arr),
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -773,6 +780,16 @@ class SimVariant:
         #: dispatch consumes no RNG and changes no state).
         eg_pending = [0] * n_eg
 
+        # -- opt-in tracing (repro.obs): side writes only — no RNG, no
+        # control flow, so traced and untraced runs are bit-identical.
+        tr = cfg.trace
+        if tr:
+            tr_ready = [nan] * n
+            tr_depth = [-1] * n
+            tce_op: list[int] = []
+            tce_t0: list[float] = []
+            tce_dur: list[float] = []
+
         # --- compute dispatch -------------------------------------------
         # Semantics are the §3.1 rule over the *eligible* subset of the
         # ready queue: every ungated op, plus — per §5.1 counter channel —
@@ -843,6 +860,8 @@ class SimVariant:
                     m = 0
                 op = plain_ops.pop(m)
             active[rid] += 1
+            if tr:
+                tr_depth[op] = total
             start[op] = t
             heappush(heap, (t + dur[op], seq, 0, op))
             seq += 1
@@ -859,6 +878,8 @@ class SimVariant:
             else:
                 op = plain_ops.pop(0)
             active[rid] += 1
+            if tr:
+                tr_depth[op] = total
             start[op] = t
             heappush(heap, (t + dur[op], seq, 0, op))
             seq += 1
@@ -942,6 +963,8 @@ class SimVariant:
                     if not started[op]:
                         started[op] = 1
                         start[op] = t
+                        if tr:
+                            tr_depth[op] = tl - h
                     r = rem_wire[op]
                     co = chunk_of[op]
                     cdur = r if r < co else co
@@ -952,6 +975,10 @@ class SimVariant:
                         eg_pending[pos] -= 1
                         heappush(heap, (t + cdur + lat[op], seq, 1, op))
                         seq += 1
+                    if tr:
+                        tce_op.append(op)
+                        tce_t0.append(t)
+                        tce_dur.append(cdur)
                     active[eid] += 1
                     active[iid] += 1
                     fabric_active += 1
@@ -970,6 +997,8 @@ class SimVariant:
             # identically or root ops and successor ops would see
             # different queue orders (the golden tests pin this).
             nonlocal stamp
+            if tr:
+                tr_ready[op] = t
             if is_transfer[op]:
                 c = t_chan[op]
                 base = q_base[c]
@@ -1060,6 +1089,8 @@ class SimVariant:
                     # KEEP IN SYNC with make_ready above (hand-inlined:
                     # this block runs once per op and the call overhead
                     # is measurable; any edit must land in both copies).
+                    if tr:
+                        tr_ready[s] = t
                     if is_transfer[s]:
                         c = t_chan[s]
                         base = q_base[c]
@@ -1093,12 +1124,22 @@ class SimVariant:
             stuck = int(np.isnan(end_arr).sum())
             raise RuntimeError(f"simulation deadlock: {stuck} ops never ran")
         start_arr = np.array(start)
+        trace = None
+        if tr:
+            trace = TraceEvents(
+                ready=np.array(tr_ready),
+                depth=np.array(tr_depth, dtype=np.int64),
+                chunk_op=np.array(tce_op, dtype=np.int64),
+                chunk_start=np.array(tce_t0, dtype=np.float64),
+                chunk_dur=np.array(tce_dur, dtype=np.float64),
+            )
         return IterationRecord(
             makespan=float(np.nanmax(end_arr)),
             start=start_arr,
             end=end_arr,
             dedicated=dedicated,
             out_of_order_handoffs=self._count_out_of_order(start_arr),
+            trace=trace,
         )
 
     # ------------------------------------------------------------------

@@ -78,6 +78,7 @@ ENV_VAR = "REPRO_ENGINE_KERNEL"
 _OK = 0
 _RAW_EXHAUSTED = 1
 _HEAP_OVERFLOW = 2
+_TRACE_OVERFLOW = 3
 
 # scalar-state slots (st int64 array)
 _SEQ = 0
@@ -85,6 +86,8 @@ _STAMP = 1
 _FABRIC = 2
 _HEAP_LEN = 3
 _STATUS = 4
+#: chunk-trace write cursor (next free slot of the tce_* arrays).
+_TRACE = 5
 
 _U32_MASK = np.uint64(0xFFFFFFFF)
 _U64_INV53 = 1.0 / 9007199254740992.0  # 2**-53
@@ -368,6 +371,7 @@ def _dispatch_compute(
     dur, start,
     ht, hseq, hcode, hop, st,
     raw, rsi, rsu,
+    tr_on, tr_depth,
 ):
     if active[rid] >= capacity[rid]:
         return
@@ -436,6 +440,7 @@ def _dispatch_compute(
             if op < 0:
                 op = _pop_plain(pq_buf, pq_stamp, pq_len, base, rid, m - n_elig)
     else:
+        total = n_plain
         if n_plain == 0:
             return
         if random_compute and n_plain > 1:
@@ -444,6 +449,8 @@ def _dispatch_compute(
             m = np.int64(0)
         op = _pop_plain(pq_buf, pq_stamp, pq_len, base, rid, m)
     active[rid] += 1
+    if tr_on:
+        tr_depth[op] = total
     start[op] = t
     _heap_push(ht, hseq, hcode, hop, st, t + dur[op], 0, op)
 
@@ -460,6 +467,7 @@ def _dispatch_egress(
     start,
     ht, hseq, hcode, hop, st,
     raw, rsi, rsu,
+    tr_on, tr_depth, tce_op, tce_t0, tce_dur,
 ):
     if eg_pending[pos] == 0:
         return
@@ -538,6 +546,8 @@ def _dispatch_egress(
             if started[op] == 0:
                 started[op] = 1
                 start[op] = t
+                if tr_on:
+                    tr_depth[op] = tl - h
             r = rem_wire[op]
             co = chunk_of[op]
             if r < co:
@@ -550,6 +560,15 @@ def _dispatch_egress(
                 q_head[c] = h + 1  # wire done; channel moves on
                 eg_pending[pos] -= 1
                 _heap_push(ht, hseq, hcode, hop, st, t + cdur + lat[op], 1, op)
+            if tr_on:
+                ci = st[_TRACE]
+                if ci >= tce_op.shape[0]:
+                    st[_STATUS] = _TRACE_OVERFLOW
+                    return
+                tce_op[ci] = op
+                tce_t0[ci] = t
+                tce_dur[ci] = cdur
+                st[_TRACE] = ci + 1
             active[eid] += 1
             active[iid] += 1
             st[_FABRIC] += 1
@@ -577,7 +596,10 @@ def _make_ready(
     started, rem_wire, chunk_of, dur, start,
     ht, hseq, hcode, hop, st,
     raw, rsi, rsu,
+    tr_on, tr_ready, tr_depth, tce_op, tce_t0, tce_dur,
 ):
+    if tr_on:
+        tr_ready[op] = t
     if is_transfer[op] == 1:
         c = t_chan[op]
         qb = q_base[c]
@@ -606,6 +628,7 @@ def _make_ready(
             start,
             ht, hseq, hcode, hop, st,
             raw, rsi, rsu,
+            tr_on, tr_depth, tce_op, tce_t0, tce_dur,
         )
     else:
         rid = op_res[op]
@@ -638,6 +661,7 @@ def _make_ready(
             dur, start,
             ht, hseq, hcode, hop, st,
             raw, rsi, rsu,
+            tr_on, tr_depth,
         )
 
 
@@ -654,6 +678,8 @@ def _event_loop(
     mode, noise, fabric_cap, random_compute, has_dag, has_prio,
     # per-iteration inputs
     dur, wire, chunk_of, raw, heap_cap,
+    # trace outputs (repro.obs; 0-size dummies when tr_on is False)
+    tr_on, tr_ready, tr_depth, tce_op, tce_t0, tce_dur,
 ):
     n = op_res.shape[0]
     n_res = capacity.shape[0]
@@ -696,7 +722,7 @@ def _event_loop(
         if root_times[ri] > 0.0:
             _heap_push(ht, hseq, hcode, hop, st, root_times[ri], 3, roots[ri])
             if st[_STATUS] != _OK:
-                return st[_STATUS], start, end
+                return st[_STATUS], start, end, st[_TRACE]
             continue
         _make_ready(
             roots[ri], 0.0, mode, has_dag, has_prio, random_compute, noise,
@@ -713,13 +739,14 @@ def _event_loop(
             started, rem_wire, chunk_of, dur, start,
             ht, hseq, hcode, hop, st,
             raw, rsi, rsu,
+            tr_on, tr_ready, tr_depth, tce_op, tce_t0, tce_dur,
         )
         if st[_STATUS] != _OK:
-            return st[_STATUS], start, end
+            return st[_STATUS], start, end, st[_TRACE]
 
     while st[_HEAP_LEN] > 0:
         if st[_STATUS] != _OK:
-            return st[_STATUS], start, end
+            return st[_STATUS], start, end, st[_TRACE]
         t, code, op = _heap_pop(ht, hseq, hcode, hop, st)
         if code == 2:  # chunk done
             eid = t_egress[op]
@@ -740,6 +767,7 @@ def _event_loop(
                 start,
                 ht, hseq, hcode, hop, st,
                 raw, rsi, rsu,
+                tr_on, tr_depth, tce_op, tce_t0, tce_dur,
             )
             # the freed ingress (or fabric slot) may unblock transfers
             # queued at other NICs
@@ -757,6 +785,7 @@ def _event_loop(
                             start,
                             ht, hseq, hcode, hop, st,
                             raw, rsi, rsu,
+                            tr_on, tr_depth, tce_op, tce_t0, tce_dur,
                         )
             continue
         if code == 3:  # deferred root arrival (job-mix offsets)
@@ -776,6 +805,7 @@ def _event_loop(
                 started, rem_wire, chunk_of, dur, start,
                 ht, hseq, hcode, hop, st,
                 raw, rsi, rsu,
+                tr_on, tr_ready, tr_depth, tce_op, tce_t0, tce_dur,
             )
             continue
         end[op] = t
@@ -793,6 +823,7 @@ def _event_loop(
                     dur, start,
                     ht, hseq, hcode, hop, st,
                     raw, rsi, rsu,
+                    tr_on, tr_depth,
                 )
         else:  # transfer done
             if has_dag:
@@ -812,6 +843,7 @@ def _event_loop(
                                 start,
                                 ht, hseq, hcode, hop, st,
                                 raw, rsi, rsu,
+                                tr_on, tr_depth, tce_op, tce_t0, tce_dur,
                             )
         for j in range(succ_indptr[op], succ_indptr[op + 1]):
             s = succ_indices[j]
@@ -834,21 +866,38 @@ def _event_loop(
                     started, rem_wire, chunk_of, dur, start,
                     ht, hseq, hcode, hop, st,
                     raw, rsi, rsu,
+                    tr_on, tr_ready, tr_depth, tce_op, tce_t0, tce_dur,
                 )
-    return st[_STATUS], start, end
+    return st[_STATUS], start, end, st[_TRACE]
 
 
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
+def _trace_capacity(ct, wire, chunk_of):
+    """Upper bound on one iteration's chunk-event count: each transfer
+    occupies the wire ``ceil(wire/chunk)`` times (+1 slack per op for
+    floating-point residue passes, +64 headroom). The kernel still
+    aborts with ``_TRACE_OVERFLOW`` if the bound is ever wrong and the
+    driver grows + replays, mirroring the heap/raw-buffer pattern."""
+    mask = ct.is_transfer == 1
+    w = wire[mask]
+    c = chunk_of[mask]
+    passes = np.ceil(np.divide(w, c, out=np.zeros_like(w), where=c > 0))
+    return int(passes.sum()) + ct.n + 64
+
+
 def execute_event_loop(variant, rng, dur, wire, chunk_of, loop):
     """Run one iteration through an array kernel.
 
     ``rng`` is the iteration's fresh ``numpy.random.Generator``; its raw
     PCG64 outputs are pre-drawn into a buffer the kernel consumes (the
     draw happens *after* any jitter sampling, so the stream position
-    matches the python loop exactly). Returns ``(start, end)`` float64
-    arrays."""
+    matches the python loop exactly). Returns ``(start, end, trace)``:
+    float64 op-time arrays plus, when ``variant.config.trace`` is on,
+    the raw event streams as a ``(ready, depth, chunk_op, chunk_start,
+    chunk_dur)`` tuple (``None`` untraced) — the engine wraps them into
+    :class:`repro.obs.events.TraceEvents`."""
     ct = core_tables(variant.core)
     vt = variant_tables(variant)
     dur = np.ascontiguousarray(dur, dtype=np.float64)
@@ -856,8 +905,20 @@ def execute_event_loop(variant, rng, dur, wire, chunk_of, loop):
     chunk_of = np.ascontiguousarray(chunk_of, dtype=np.float64)
     raw = rng.bit_generator.random_raw(ct.raw_init)
     heap_cap = ct.heap_cap
+    tr_on = bool(variant.config.trace)
+    if tr_on:
+        tce_cap = _trace_capacity(ct, wire, chunk_of)
+        tr_ready = np.full(ct.n, np.nan)
+        tr_depth = np.full(ct.n, -1, dtype=np.int64)
+    else:
+        tce_cap = 0
+        tr_ready = np.zeros(0)
+        tr_depth = np.zeros(0, dtype=np.int64)
+    tce_op = np.zeros(tce_cap, dtype=np.int64)
+    tce_t0 = np.zeros(tce_cap)
+    tce_dur = np.zeros(tce_cap)
     while True:
-        status, start, end = loop(
+        status, start, end, n_tce = loop(
             ct.succ_indptr, ct.succ_indices, ct.base_indeg,
             ct.is_transfer, ct.is_chunk, ct.op_res, ct.t_egress,
             ct.t_ingress, ct.t_chan, ct.lat,
@@ -869,16 +930,31 @@ def execute_event_loop(variant, rng, dur, wire, chunk_of, loop):
             vt.mode, vt.noise, vt.fabric_cap, vt.random_compute,
             vt.has_dag, vt.has_prio,
             dur, wire, chunk_of, raw, heap_cap,
+            tr_on, tr_ready, tr_depth, tce_op, tce_t0, tce_dur,
         )
         if status == _OK:
-            return start, end
+            if not tr_on:
+                return start, end, None
+            n_ev = int(n_tce)
+            return start, end, (
+                tr_ready, tr_depth,
+                tce_op[:n_ev].copy(), tce_t0[:n_ev].copy(),
+                tce_dur[:n_ev].copy(),
+            )
         if status == _RAW_EXHAUSTED:
             # rejection sampling outran the buffer: extend the raw
             # stream in place (same prefix) and replay the iteration.
+            # (Trace buffers are simply rewritten: a replay is
+            # bit-identical, and the cursor restarts at zero.)
             raw = np.concatenate(
                 [raw, rng.bit_generator.random_raw(raw.shape[0])]
             )
         elif status == _HEAP_OVERFLOW:  # pragma: no cover - safety belt
             heap_cap *= 2
+        elif status == _TRACE_OVERFLOW:  # pragma: no cover - safety belt
+            tce_cap = max(2 * tce_cap, 1024)
+            tce_op = np.zeros(tce_cap, dtype=np.int64)
+            tce_t0 = np.zeros(tce_cap)
+            tce_dur = np.zeros(tce_cap)
         else:  # pragma: no cover - unreachable
             raise RuntimeError(f"kernel returned unknown status {status}")

@@ -45,11 +45,13 @@ from __future__ import annotations
 
 import atexit
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional, Sequence
 
 from ..core.schedules import Schedule
+from ..obs.telemetry import Telemetry
 from ..sim.metrics import SimulationResult
 from ..sim.runner import simulate_cell_group, throughput_gain_pct
 from .cache import CacheStats, ResultCache, cache_key
@@ -58,11 +60,13 @@ from .spec import FnTask, SimCell
 from . import sharedcore
 
 
-def _run_group(cells: Sequence[SimCell]) -> list:
+def _run_group(cells: Sequence[SimCell]) -> tuple:
     """Worker entry point: simulate one compile-once group (module-level
     so process pools can pickle it). Cacheable cells come back as
     serialized dicts; ``keep_op_times`` cells keep their live result (the
-    per-op arrays do not fit the JSON cache)."""
+    per-op arrays do not fit the JSON cache). Returns ``(elapsed_s,
+    payloads)`` so the runner's telemetry sees worker-side wall time."""
+    t0 = time.perf_counter()
     first = cells[0]
     variants = [(c.algorithm, c.config) for c in cells]
     results = simulate_cell_group(
@@ -72,10 +76,11 @@ def _run_group(cells: Sequence[SimCell]) -> list:
         platform=first.platform,
         batch_factor=first.batch_factor,
     )
-    return [
+    payloads = [
         result_to_dict(r) if cell.cacheable else r
         for cell, r in zip(cells, results)
     ]
+    return time.perf_counter() - t0, payloads
 
 
 class _PreparedGroup(NamedTuple):
@@ -139,15 +144,17 @@ def _prepare_group(cells: Sequence[SimCell]) -> _PreparedGroup:
 
 
 
-def _run_shared_cell(args: tuple) -> object:
+def _run_shared_cell(args: tuple) -> tuple:
     """Phase B worker entry point: simulate one cell against an attached
     shared core. Mirrors :func:`repro.sim.runner.simulate_cluster` (same
     variant binding, same iteration protocol, same summarization), so the
-    result is bit-identical to the grouped/serial paths."""
+    result is bit-identical to the grouped/serial paths. Returns
+    ``(elapsed_s, payload)``."""
     from ..sim.engine import SimVariant
     from ..sim.metrics import summarize_iteration
     from ..timing import get_platform
 
+    t0 = time.perf_counter()
     handle, schedule, cell = args
     core, meta = sharedcore.attach(handle)
     plat = get_platform(cell.platform)
@@ -178,7 +185,8 @@ def _run_shared_cell(args: tuple) -> object:
     for i, record in enumerate(sim.iter_iterations(0, cfg.total_iterations)):
         summary = summarize_iteration(sim, record, keep_op_times=cfg.keep_op_times)
         (result.warmup if i < cfg.warmup else result.iterations).append(summary)
-    return result_to_dict(result) if cell.cacheable else result
+    payload = result_to_dict(result) if cell.cacheable else result
+    return time.perf_counter() - t0, payload
 
 
 def _run_task(task: FnTask) -> object:
@@ -214,6 +222,11 @@ class SweepRunner:
     rerun: bool = False
     share_cores: bool = True
     stats: CacheStats = field(init=False)
+    #: run-level counters (see :mod:`repro.obs.telemetry`): cells
+    #: requested/deduped/cached/simulated, group/shared-core activity,
+    #: worker wall time. Always on — surfaced per scenario as
+    #: ``ResultSet.telemetry``.
+    telemetry: Telemetry = field(init=False)
     _cache: Optional[ResultCache] = field(init=False, default=None, repr=False)
     _pool: Optional[ProcessPoolExecutor] = field(init=False, default=None, repr=False)
     _group_cores: dict = field(init=False, default_factory=dict, repr=False)
@@ -224,6 +237,7 @@ class SweepRunner:
             self.stats = self._cache.stats
         else:
             self.stats = CacheStats()
+        self.telemetry = Telemetry()
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
@@ -253,41 +267,51 @@ class SweepRunner:
     # -- cells ----------------------------------------------------------
     def run_cells(self, cells: Sequence[SimCell]) -> list[SimulationResult]:
         """Simulate a batch of cells; returns results in input order."""
-        order: dict[SimCell, None] = dict.fromkeys(cells)
-        resolved: dict[SimCell, SimulationResult] = {}
-        keys: dict[SimCell, str] = {}
+        tm = self.telemetry
+        tm.add("run_cells_calls")
+        with tm.timer("run_cells_wall_s"):
+            order: dict[SimCell, None] = dict.fromkeys(cells)
+            tm.add("cells_requested", len(cells))
+            tm.add("cells_deduped", len(cells) - len(order))
+            resolved: dict[SimCell, SimulationResult] = {}
+            keys: dict[SimCell, str] = {}
 
-        pending: list[SimCell] = []
-        for cell in order:
-            payload = None
-            if self._cache is not None and cell.cacheable:
-                keys[cell] = cache_key(cell.cache_key_material())
-                if not self.rerun:
-                    payload = self._cache.get(keys[cell])
-            if payload is not None:
-                try:
-                    resolved[cell] = result_from_dict(payload)
-                    continue
-                except (KeyError, ValueError):
-                    self._cache.note_invalid()  # stale/foreign: recompute
-            pending.append(cell)
+            pending: list[SimCell] = []
+            for cell in order:
+                payload = None
+                if self._cache is not None and cell.cacheable:
+                    keys[cell] = cache_key(cell.cache_key_material())
+                    if not self.rerun:
+                        payload = self._cache.get(keys[cell])
+                if payload is not None:
+                    try:
+                        resolved[cell] = result_from_dict(payload)
+                        tm.add("cells_cached")
+                        continue
+                    except (KeyError, ValueError):
+                        self._cache.note_invalid()  # stale/foreign: recompute
+                pending.append(cell)
+            tm.add("cells_simulated", len(pending))
 
-        groups: dict[tuple, list[SimCell]] = {}
-        for cell in pending:
-            groups.setdefault(cell.group_key, []).append(cell)
+            groups: dict[tuple, list[SimCell]] = {}
+            for cell in pending:
+                groups.setdefault(cell.group_key, []).append(cell)
 
-        reusable = any(gk in self._group_cores for gk in groups)
-        if self.jobs > 1 and self.share_cores and (len(pending) > 1 or reusable):
-            # also route single-cell batches through the shared path when
-            # their group's core is already published — attaching beats
-            # recompiling the IR/cluster/core from scratch.
-            self._run_groups_shared(groups, resolved, keys)
-        else:
-            for group, payloads in zip(
-                groups.values(), self._map(_run_group, list(groups.values()))
-            ):
-                for cell, payload in zip(group, payloads):
-                    self._store(cell, payload, resolved, keys)
+            reusable = any(gk in self._group_cores for gk in groups)
+            if self.jobs > 1 and self.share_cores and (len(pending) > 1 or reusable):
+                # also route single-cell batches through the shared path
+                # when their group's core is already published — attaching
+                # beats recompiling the IR/cluster/core from scratch.
+                self._run_groups_shared(groups, resolved, keys)
+            else:
+                tm.add("groups_run", len(groups))
+                for group, (elapsed, payloads) in zip(
+                    groups.values(), self._map(_run_group, list(groups.values()))
+                ):
+                    tm.add("sim_wall_s", elapsed)
+                    tm.peak("cell_wall_max_s", elapsed)
+                    for cell, payload in zip(group, payloads):
+                        self._store(cell, payload, resolved, keys)
         return [resolved[cell] for cell in cells]
 
     def _worth_sharing(self, n_cells: int, n_groups: int) -> bool:
@@ -317,10 +341,12 @@ class SweepRunner:
         :meth:`close`.
         """
         pool = self._get_pool()
+        tm = self.telemetry
         pending: dict = {}  # future -> ("cell", cell) | ("group", cells) | ...
 
         def submit_cells(group_key, cells) -> None:
             prepared = self._group_cores[group_key]
+            tm.add("shared_cell_tasks", len(cells))
             for cell in cells:
                 schedule = prepared.schedules.get(
                     (cell.algorithm, cell.config.seed)
@@ -350,6 +376,7 @@ class SweepRunner:
                 fut = pool.submit(_prepare_group, cells)
                 pending[fut] = ("prep", group_key, cells)
             else:
+                tm.add("groups_run")
                 fut = pool.submit(_run_group, cells)
                 pending[fut] = ("group", cells)
 
@@ -359,17 +386,25 @@ class SweepRunner:
                 tag = pending.pop(fut)
                 kind = tag[0]
                 if kind == "cell":
-                    self._store(tag[1], fut.result(), resolved, keys)
+                    elapsed, payload = fut.result()
+                    tm.add("sim_wall_s", elapsed)
+                    tm.peak("cell_wall_max_s", elapsed)
+                    self._store(tag[1], payload, resolved, keys)
                 elif kind == "group":
-                    for cell, payload in zip(tag[1], fut.result()):
+                    elapsed, payloads = fut.result()
+                    tm.add("sim_wall_s", elapsed)
+                    tm.peak("cell_wall_max_s", elapsed)
+                    for cell, payload in zip(tag[1], payloads):
                         self._store(cell, payload, resolved, keys)
                 elif kind == "prep":
                     _, group_key, cells = tag
                     self._group_cores[group_key] = fut.result()
+                    tm.add("cores_published")
                     submit_cells(group_key, cells)
                 else:  # sched top-up completed
                     _, group_key, cells = tag
                     self._group_cores[group_key].schedules.update(fut.result())
+                    tm.add("schedule_topups")
                     submit_cells(group_key, cells)
 
     def _store(self, cell, payload, resolved, keys) -> None:
@@ -420,6 +455,7 @@ class SweepRunner:
                 self._cache.note_invalid()  # foreign entry: recompute
             pending.append(task)
 
+        self.telemetry.add("fn_tasks", len(pending))
         for task, value in zip(pending, self._map(_run_task, pending)):
             value = json.loads(json.dumps(value))
             resolved[task] = value

@@ -80,6 +80,10 @@ class SimCell:
         # kernel is bit-exact, pinned by the golden + parity suites), so
         # numba and python runs share cache entries.
         cell["config"].pop("kernel", None)
+        # Tracing is observational (side-array writes, no RNG use): a
+        # traced run produces the same summaries as an untraced one, so
+        # both share — and can never poison — one cache entry.
+        cell["config"].pop("trace", None)
         return {
             "kind": "sim_cell",
             "spec_type": type(self.spec).__name__,

@@ -108,6 +108,7 @@ def test_registry_covers_every_table_and_figure():
         "table1", "motivation", "fig7", "fig8", "fig9", "fig10", "fig11",
         "fig12", "fig13", "headline", "ablations", "stragglers",
         "pipelining", "allreduce", "jobmix_contention", "jobmix_crosstalk",
+        "jobmix_starvation",
     )
 
 
