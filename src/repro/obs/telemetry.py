@@ -30,8 +30,10 @@ Counter schema (all optional — absent means zero):
 ``cell_wall_max_s``       slowest single simulation unit
 ``groups_run``            one-task-per-group units executed
 ``cores_published``       shared-memory core publishes (phase A)
-``shared_cell_tasks``     cells fanned out against attached cores (phase B;
-                          each task attaches the core once)
+``shared_cell_tasks``     cells fanned out against attached cores (phase B,
+                          either lane; each task attaches the core once)
+``shared_batch_tasks``    batched phase-B tasks (one chunk of a group's
+                          cells per worker, variant-batched kernel sweeps)
 ``schedule_topups``       wizard top-up tasks for reused cores
 ``fn_tasks``              function tasks executed (non-cell work)
 ``cache_hits/misses/writes``  on-disk cache counters (delta per scenario)

@@ -12,6 +12,8 @@ from .engine import (
     CompiledCore,
     IterationRecord,
     SimVariant,
+    iter_variant_records,
+    run_variants,
 )
 from .jobmix import (
     JobMixGraph,
@@ -40,6 +42,8 @@ __all__ = [
     "CompiledCore",
     "SimVariant",
     "IterationRecord",
+    "iter_variant_records",
+    "run_variants",
     "IterationResult",
     "SimulationResult",
     "summarize_iteration",

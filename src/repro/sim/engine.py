@@ -601,6 +601,28 @@ class SimVariant:
         self.n_channels = len(core.param_groups)
 
     # ------------------------------------------------------------------
+    def _trace_cap(self) -> int:
+        """Static per-iteration chunk-event capacity (ISSUE 8 satellite).
+
+        Jitter scales each op's wire time and chunk size by the SAME
+        per-op lognormal factor, so the wire/chunk pass count
+        ``ceil(wire/chunk)`` is jitter-invariant — the bound is a pure
+        function of core tables and ``chunk_wire`` and is computed once
+        per variant instead of per iteration (+1 slack per op for
+        floating-point residue passes, +64 headroom). Both event loops
+        still survive an undersized bound: the kernel aborts and replays
+        with a grown buffer, the python loop grows its arrays in place.
+        """
+        cap = getattr(self, "_trace_cap_cached", None)
+        if cap is None:
+            core = self.core
+            w = core.wire_base[core.is_transfer]
+            cw = self.chunk_wire
+            passes = int(np.ceil(w / cw).sum()) if cw > 0 and w.size else 0
+            cap = self._trace_cap_cached = passes + core.n + 64
+        return cap
+
+    # ------------------------------------------------------------------
     def run_iteration(self, iteration: int = 0) -> IterationRecord:
         """Execute one iteration; deterministic in ``iteration`` and config."""
         return self.run_iterations(iteration, 1)[0]
@@ -632,6 +654,14 @@ class SimVariant:
         n = core.n
         sigma = self._jitter_sigma
         use_kernel = self._kernel_loop is not None
+        if use_kernel and not cfg.trace:
+            # untraced array-kernel runs go through the variant-batched
+            # entry: the whole slab of iterations becomes ONE kernel call
+            # (the iteration loop lives inside the JIT), bit-exact with
+            # the per-iteration dispatch below.
+            for _vi, record in iter_variant_records([self], count, first):
+                yield record
+            return
         for lo in range(0, max(count, 0), self._SLAB):
             slab = min(self._SLAB, count - lo)
             rngs = [
@@ -782,13 +812,20 @@ class SimVariant:
 
         # -- opt-in tracing (repro.obs): side writes only — no RNG, no
         # control flow, so traced and untraced runs are bit-identical.
+        # Python lists on purpose: scalar writes in this loop are ~3x
+        # cheaper on lists than on numpy arrays, and the one conversion
+        # per array at the end is vectorized. The chunk-event lists are
+        # pre-sized from the static per-variant bound so they never
+        # resize mid-loop.
         tr = cfg.trace
+        tce_i = 0
         if tr:
             tr_ready = [nan] * n
             tr_depth = [-1] * n
-            tce_op: list[int] = []
-            tce_t0: list[float] = []
-            tce_dur: list[float] = []
+            tce_cap = self._trace_cap()
+            tce_op = [0] * tce_cap
+            tce_t0 = [0.0] * tce_cap
+            tce_dur = [0.0] * tce_cap
 
         # --- compute dispatch -------------------------------------------
         # Semantics are the §3.1 rule over the *eligible* subset of the
@@ -890,7 +927,7 @@ class SimVariant:
 
         # --- transfer dispatch (chunked, round-robin over channels) ------
         def dispatch_egress(pos: int, t: float) -> None:
-            nonlocal seq, fabric_active
+            nonlocal seq, fabric_active, tce_i
             if not eg_pending[pos]:
                 return
             chans = eg_chans[pos]
@@ -976,9 +1013,15 @@ class SimVariant:
                         heappush(heap, (t + cdur + lat[op], seq, 1, op))
                         seq += 1
                     if tr:
-                        tce_op.append(op)
-                        tce_t0.append(t)
-                        tce_dur.append(cdur)
+                        if tce_i == len(tce_op):  # pragma: no cover
+                            # static bound slack exhausted: grow in place
+                            tce_op.extend(tce_op)
+                            tce_t0.extend(tce_t0)
+                            tce_dur.extend(tce_dur)
+                        tce_op[tce_i] = op
+                        tce_t0[tce_i] = t
+                        tce_dur[tce_i] = cdur
+                        tce_i += 1
                     active[eid] += 1
                     active[iid] += 1
                     fabric_active += 1
@@ -1129,9 +1172,9 @@ class SimVariant:
             trace = TraceEvents(
                 ready=np.array(tr_ready),
                 depth=np.array(tr_depth, dtype=np.int64),
-                chunk_op=np.array(tce_op, dtype=np.int64),
-                chunk_start=np.array(tce_t0, dtype=np.float64),
-                chunk_dur=np.array(tce_dur, dtype=np.float64),
+                chunk_op=np.array(tce_op[:tce_i], dtype=np.int64),
+                chunk_start=np.array(tce_t0[:tce_i], dtype=np.float64),
+                chunk_dur=np.array(tce_dur[:tce_i], dtype=np.float64),
             )
         return IterationRecord(
             makespan=float(np.nanmax(end_arr)),
@@ -1181,5 +1224,125 @@ class SimVariant:
                 wire_actual[core.is_transfer].sum() / self.config.fabric_slots
             )
         return out
+
+
+# ----------------------------------------------------------------------
+# variant-batched execution (ISSUE 8)
+# ----------------------------------------------------------------------
+def iter_variant_records(variants, count, first=0, *, parallel=None):
+    """Stream ``(variant_index, IterationRecord)`` for every variant of a
+    shared-core set across ``count`` iterations, variant-major.
+
+    This is the batched lane behind :func:`run_variants` and the sweep
+    runner: the ``(variant, iteration)`` grid is flattened into rows,
+    sliced into ``SimVariant._SLAB``-row slabs, and each slab runs as ONE
+    kernel call (:func:`repro.sim.kernel.execute_rows`) against the
+    shared :class:`CompiledCore` tables plus stacked per-variant arrays.
+    Every row's RNG, jitter factors and dedicated times are built exactly
+    as :meth:`SimVariant.iter_iterations` builds them, so the records are
+    bit-identical to the one-at-a-time path — batching (like ``kernel``
+    and ``trace``) never changes results.
+
+    Falls back to per-variant :meth:`~SimVariant.iter_iterations` when
+    any variant cannot batch (python kernel, or tracing on) — same yield
+    order, same records, just per-iteration dispatch.
+
+    ``parallel=None`` reads ``REPRO_ENGINE_PARALLEL`` (see
+    :func:`repro.sim.kernel.resolve_parallel`); rows are independent, so
+    the ``prange`` entry is bit-exact too.
+    """
+    if not variants:
+        return
+    core = variants[0].core
+    for v in variants[1:]:
+        if v.core is not core:
+            raise ValueError(
+                "iter_variant_records requires variants sharing one "
+                "CompiledCore (got distinct cores)"
+            )
+    count = max(int(count), 0)
+    if any(v._kernel_loop is None or v.config.trace for v in variants):
+        for vi, v in enumerate(variants):
+            for record in v.iter_iterations(first, count):
+                yield vi, record
+        return
+    n = core.n
+    rows = [(vi, it) for vi in range(len(variants)) for it in range(count)]
+    slab_rows = SimVariant._SLAB
+    for lo in range(0, len(rows), slab_rows):
+        chunk = rows[lo:lo + slab_rows]
+        n_rows = len(chunk)
+        vrow = np.array([vi for vi, _it in chunk], dtype=np.int64)
+        rngs = [
+            np.random.default_rng(
+                np.random.SeedSequence((variants[vi].config.seed, first + it))
+            )
+            for vi, it in chunk
+        ]
+        DUR = np.empty((n_rows, n))
+        WIRE = np.empty((n_rows, n))
+        CHUNK = np.empty((n_rows, n))
+        DED = np.empty((n_rows, n))
+        for r, ((vi, _it), rng) in enumerate(zip(chunk, rngs)):
+            v = variants[vi]
+            sigma = v._jitter_sigma
+            if sigma > 0:
+                # jitter is drawn BEFORE execute_rows pre-draws the raw
+                # stream, so each row's generator position matches the
+                # single-iteration path exactly.
+                factors = rng.lognormal(0.0, sigma, n)
+                DUR[r] = v.base_dur * factors
+                WIRE[r] = core.wire_base * factors
+                CHUNK[r] = v.chunk_wire * factors
+                DED[r] = np.where(core.is_transfer, WIRE[r] + core.lat, DUR[r])
+            else:
+                DUR[r] = v.base_dur
+                WIRE[r] = core.wire_base
+                CHUNK[r] = v._chunk0_arr
+                DED[r] = v._dedicated0
+        START, END = _kernel.execute_rows(
+            variants, vrow, rngs, DUR, WIRE, CHUNK, parallel=parallel
+        )
+        for r, (vi, _it) in enumerate(chunk):
+            v = variants[vi]
+            # rows are copied out of the slab matrices so a surviving
+            # record never pins the whole slab alive
+            end_row = END[r].copy()
+            if np.isnan(end_row).any():  # pragma: no cover - engine bug
+                stuck = int(np.isnan(end_row).sum())
+                raise RuntimeError(
+                    f"simulation deadlock: {stuck} ops never ran"
+                )
+            start_row = START[r].copy()
+            yield vi, IterationRecord(
+                makespan=float(np.nanmax(end_row)),
+                start=start_row,
+                end=end_row,
+                dedicated=DED[r].copy(),
+                out_of_order_handoffs=v._count_out_of_order(start_row),
+            )
+
+
+def run_variants(core, variants, iterations, first=0, *, parallel=None):
+    """Run every variant of one shared core for ``iterations`` iterations
+    through the batched kernel lane; returns one ``IterationRecord`` list
+    per variant, each bit-identical to
+    ``variants[i].run_iterations(first, iterations)``.
+
+    ``core`` must be the (single) ``CompiledCore`` every variant wraps —
+    passing it explicitly keeps call sites honest about the shared-core
+    contract the batched kernel entry relies on.
+    """
+    for v in variants:
+        if v.core is not core:
+            raise ValueError(
+                "run_variants: every variant must wrap the given core"
+            )
+    out: list[list[IterationRecord]] = [[] for _ in variants]
+    for vi, record in iter_variant_records(
+        variants, iterations, first, parallel=parallel
+    ):
+        out[vi].append(record)
+    return out
 
 

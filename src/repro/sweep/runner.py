@@ -18,14 +18,18 @@ Execution pipeline for a batch of :class:`~repro.sweep.spec.SimCell`:
    publishes its arrays into a shared-memory block
    (:mod:`repro.sweep.sharedcore`) together with the group's wizard
    schedules, and — as soon as that completes, no cross-group barrier —
-   every cell of the group simulates as its own task against the
-   attached read-only core, so a grid's variants parallelize across the
-   pool instead of serializing inside one group task. Small groups in a
-   group-rich batch keep the classic one-task-per-group lane on the same
-   pool (group-level parallelism already saturates it). Cells are
-   independent and the engine seeds from ``(config.seed, iteration)``,
-   so serial, grouped and shared-core execution produce bitwise-identical
-   results.
+   the group's cells fan out against the attached read-only core, so a
+   grid's variants parallelize across the pool instead of serializing
+   inside one group task. By default the fan-out is **batched** (ISSUE
+   8): each worker receives a contiguous chunk of the group's cells and
+   runs ALL their iterations through the variant-batched kernel entry —
+   whole slabs of (variant, iteration) rows per compiled call instead
+   of one dispatch each (``batch_cells=False`` restores one task per
+   cell). Small groups in a group-rich batch keep the classic
+   one-task-per-group lane on the same pool (group-level parallelism
+   already saturates it). Cells are independent and the engine seeds
+   from ``(config.seed, iteration)``, so serial, grouped, shared-core
+   and batched execution produce bitwise-identical results.
 5. **Round-trip** — every fresh result passes through the JSON
    serialization (lossless for IEEE doubles) before being returned and
    cached, so the first run and every cached re-run yield the exact same
@@ -189,6 +193,93 @@ def _run_shared_cell(args: tuple) -> tuple:
     return time.perf_counter() - t0, payload
 
 
+def _run_shared_cells_batched(args: tuple) -> tuple:
+    """Phase B worker entry point (batched lane): simulate MANY cells of
+    one group against the attached shared core, dispatching all their
+    iterations through the variant-batched kernel entry
+    (:func:`repro.sim.engine.iter_variant_records`) — one compiled call
+    per row slab instead of one per (cell, iteration). Cell binding and
+    summarization mirror :func:`_run_shared_cell` exactly, and the
+    batched kernel lane is pinned bit-identical to per-iteration
+    dispatch, so payloads match the per-cell path byte for byte.
+    ``args`` is ``(handle, [(schedule, cell), ...])``; returns
+    ``(elapsed_s, payloads)`` in input cell order."""
+    from ..sim.engine import SimVariant, iter_variant_records
+    from ..sim.metrics import summarize_iteration
+    from ..timing import get_platform
+
+    t0 = time.perf_counter()
+    handle, items = args
+    core, meta = sharedcore.attach(handle)
+    sims = []
+    results = []
+    for schedule, cell in items:
+        plat = get_platform(cell.platform)
+        cfg = cell.config
+        if cell.algorithm == "baseline":
+            schedule = Schedule("baseline")
+        elif schedule is None:
+            # belt-and-braces twin of _run_shared_cell: a missing
+            # schedule must never silently mean 'baseline'.
+            from ..backends import prepare_comm_schedule
+            from ..models import build_model
+
+            ir = build_model(cell.model, batch_factor=cell.batch_factor)
+            schedule = prepare_comm_schedule(
+                ir, cell.spec, cell.algorithm, plat, seed=cfg.seed
+            )
+        sims.append(SimVariant(core, schedule, cfg))
+        results.append(
+            SimulationResult(
+                model=meta["model"],
+                batch_size=meta["batch_size"],
+                n_workers=cell.spec.n_workers,
+                n_ps=cell.spec.n_ps,
+                workload=cell.spec.workload,
+                algorithm=schedule.algorithm,
+                platform=plat.name,
+                n_params=meta["n_params"],
+            )
+        )
+    # One batched sweep per distinct iteration protocol (cells of a
+    # group virtually always share one; mixed counts just sub-batch).
+    by_count: dict[int, list[int]] = {}
+    for idx, (_schedule, cell) in enumerate(items):
+        by_count.setdefault(cell.config.total_iterations, []).append(idx)
+    seen = [0] * len(items)
+    for count, idxs in by_count.items():
+        for vi, record in iter_variant_records([sims[i] for i in idxs], count):
+            idx = idxs[vi]
+            sim = sims[idx]
+            i = seen[idx]
+            seen[idx] = i + 1
+            summary = summarize_iteration(
+                sim, record, keep_op_times=sim.config.keep_op_times
+            )
+            result = results[idx]
+            (result.warmup if i < sim.config.warmup
+             else result.iterations).append(summary)
+    payloads = [
+        result_to_dict(r) if cell.cacheable else r
+        for (_schedule, cell), r in zip(items, results)
+    ]
+    return time.perf_counter() - t0, payloads
+
+
+def _balanced_chunks(seq: list, n_chunks: int) -> list[list]:
+    """Split ``seq`` into at most ``n_chunks`` contiguous, size-balanced
+    (difference <= 1) non-empty chunks, preserving order."""
+    n_chunks = max(1, min(n_chunks, len(seq)))
+    size, extra = divmod(len(seq), n_chunks)
+    chunks = []
+    i = 0
+    for j in range(n_chunks):
+        step = size + (1 if j < extra else 0)
+        chunks.append(seq[i:i + step])
+        i += step
+    return chunks
+
+
 def _run_task(task: FnTask) -> object:
     """Worker entry point for function tasks."""
     return task.resolve()(**dict(task.kwargs))
@@ -210,6 +301,11 @@ class SweepRunner:
     ``cache_dir=None`` disables the on-disk cache; ``rerun`` recomputes
     every unit and refreshes its cache entry. ``share_cores=False``
     forces the legacy one-task-per-group fan-out (no shared memory).
+    ``batch_cells=False`` forces one task per shared-core cell instead
+    of the batched lane (ISSUE 8) that hands each worker a chunk of a
+    group's cells to run through one variant-batched kernel sweep —
+    batching, like sharing, never changes results (bit-exact lanes) and
+    is excluded from cache keys.
 
     The worker pool is persistent: it is spawned on first use and reused
     by every subsequent ``run_cells``/``run_tasks`` call until
@@ -221,6 +317,7 @@ class SweepRunner:
     cache_dir: Optional[str] = None
     rerun: bool = False
     share_cores: bool = True
+    batch_cells: bool = True
     stats: CacheStats = field(init=False)
     #: run-level counters (see :mod:`repro.obs.telemetry`): cells
     #: requested/deduped/cached/simulated, group/shared-core activity,
@@ -321,8 +418,11 @@ class SweepRunner:
         or the group is variant-heavy enough that the publish/attach
         overhead is dwarfed. Small groups in a group-rich batch stay on
         the one-task-per-group lane, which already saturates the pool
-        with no shared-memory round trips."""
-        return n_groups < self.jobs or n_cells >= 4
+        with no shared-memory round trips. The batched lane lowered the
+        variant-heavy threshold from 4 to 3: chunked cells amortize the
+        attach + per-task dispatch that made small shared groups
+        marginal."""
+        return n_groups < self.jobs or n_cells >= 3
 
     def _run_groups_shared(self, groups, resolved, keys) -> None:
         """Streaming shared-core fan-out (``jobs > 1``).
@@ -347,10 +447,22 @@ class SweepRunner:
         def submit_cells(group_key, cells) -> None:
             prepared = self._group_cores[group_key]
             tm.add("shared_cell_tasks", len(cells))
-            for cell in cells:
-                schedule = prepared.schedules.get(
-                    (cell.algorithm, cell.config.seed)
-                )
+            items = [
+                (prepared.schedules.get((cell.algorithm, cell.config.seed)),
+                 cell)
+                for cell in cells
+            ]
+            if self.batch_cells and len(cells) > 1:
+                # batched lane: one chunk of cells per worker, all their
+                # iterations dispatched as variant-batched kernel sweeps.
+                for chunk in _balanced_chunks(items, self.jobs):
+                    tm.add("shared_batch_tasks")
+                    fut = pool.submit(
+                        _run_shared_cells_batched, (prepared.handle, chunk)
+                    )
+                    pending[fut] = ("batch", [cell for _s, cell in chunk])
+                return
+            for schedule, cell in items:
                 fut = pool.submit(
                     _run_shared_cell, (prepared.handle, schedule, cell)
                 )
@@ -390,7 +502,7 @@ class SweepRunner:
                     tm.add("sim_wall_s", elapsed)
                     tm.peak("cell_wall_max_s", elapsed)
                     self._store(tag[1], payload, resolved, keys)
-                elif kind == "group":
+                elif kind in ("group", "batch"):
                     elapsed, payloads = fut.result()
                     tm.add("sim_wall_s", elapsed)
                     tm.peak("cell_wall_max_s", elapsed)

@@ -9,7 +9,10 @@ picklable :class:`SharedCoreHandle` (block name + array directory + a
 pickled header with the non-array state); :func:`attach` maps the block
 read-only in a worker and rebuilds the core around zero-copy views —
 no graph build, no model build, no O(n) traversal, only the cheap
-python-native list mirrors.
+python-native list mirrors. Attaches are memoized per worker process,
+so the batched phase-B lane (many cells per task, see
+:func:`repro.sweep.runner._run_shared_cells_batched`) pays one map per
+worker however many chunks it processes.
 
 Ownership is explicit: :func:`publish` immediately detaches the block
 from the creating process's ``resource_tracker`` (workers of a pool must

@@ -197,6 +197,48 @@ class TestSharedSweep:
             "baseline", "tic", "tac", "tic_plus", "tac",
         ]
 
+    def test_batched_lane_equals_per_cell_lane(self):
+        """ISSUE 8: the variant-batched phase-B lane (chunks of a
+        group's cells per worker task) is bit-identical to one task per
+        cell, and telemetry shows which lane ran."""
+        cells = grid_cells()
+        with SweepRunner(jobs=2, batch_cells=False) as per_cell:
+            dispatched = per_cell.run_cells(cells)
+            assert per_cell.telemetry.get("shared_batch_tasks") == 0
+            assert per_cell.telemetry.get("shared_cell_tasks") > 0
+        with SweepRunner(jobs=2) as batched:  # batch_cells defaults on
+            fanned = batched.run_cells(cells)
+            assert batched.telemetry.get("shared_batch_tasks") > 0
+        assert_results_identical(dispatched, fanned)
+
+    def test_batched_group_with_wizarded_algorithm_never_baseline(self):
+        """ISSUE 8 regression: a batched group whose schedule was JUST
+        wizarded (phase A of the same run_cells call) must carry that
+        schedule into the batched task — never silently run baseline."""
+        spec = ClusterSpec(2, 1, "training")
+        cells = [
+            SimCell(model="AlexNet v2", spec=spec, algorithm=a, config=CFG)
+            for a in ("baseline", "tic", "tac", "tic_plus")
+        ]
+        serial = SweepRunner(jobs=1).run_cells(cells)
+        with SweepRunner(jobs=2) as runner:
+            got = runner.run_cells(cells)
+            assert runner.telemetry.get("shared_batch_tasks") > 0
+            # top-up reuse stays correct through the batched lane too
+            more = runner.run_cells(
+                [SimCell(model="AlexNet v2", spec=spec, algorithm="tac",
+                         config=CFG.with_(seed=5))]
+            )
+            assert len(runner._group_cores) == 1
+        assert [r.algorithm for r in got] == ["baseline", "tic", "tac",
+                                              "tic_plus"]
+        assert more[0].algorithm == "tac"
+        assert_results_identical(serial, got)
+        # distinct algorithms must differ from baseline (tic reorders):
+        # equality here would mean the schedule was dropped in transit
+        base, tic = got[0], got[1]
+        assert base.iteration_times.tolist() != tic.iteration_times.tolist()
+
     def test_shared_matches_legacy_grouped_path(self):
         cells = grid_cells()
         with SweepRunner(jobs=2, share_cores=False) as legacy:
