@@ -1,0 +1,34 @@
+"""Fault-resilience bench: scheduling algorithms under injected faults.
+
+Regenerates ``results/fault_resilience*.csv`` (ISSUE 9): the
+``fault_resilience`` scenario sweeps {baseline, tic, tac} across fault
+intensities (a link degradation on the PS ingress plus a straggler
+burst on one worker, both scaled by the intensity knob) and attributes
+the lost service time per fault window via ``Trace.fault_impact``.
+"""
+
+
+def test_fault_resilience(benchmark, run_scenario):
+    out = benchmark.pedantic(
+        run_scenario, args=("fault_resilience",), rounds=1, iterations=1
+    )
+    rows = {(r["algorithm"], r["intensity"]): r for r in out.rows}
+    intensities = sorted({q for _a, q in rows})
+    assert intensities[0] == 0.0 and len(intensities) >= 3
+    for algo in ("baseline", "tic", "tac"):
+        # harder faults never make an iteration faster
+        times = [rows[(algo, q)]["iteration_ms"] for q in intensities]
+        assert times == sorted(times)
+        # intensity 0 compiles to an empty plan: nothing to attribute
+        clean = rows[(algo, 0.0)]
+        assert clean["n_fault_windows"] == 0
+        assert clean["fault_compute_lost_ms"] == 0.0
+        assert clean["fault_wire_lost_ms"] == 0.0
+    for q in intensities:
+        # communication scheduling keeps paying off under degradation
+        assert rows[("tic", q)]["vs_baseline_pct"] >= 0.0
+    worst = rows[("baseline", intensities[-1])]
+    assert worst["n_fault_windows"] > 0
+    assert worst["fault_compute_lost_ms"] + worst["fault_wire_lost_ms"] > 0.0
+    print()
+    print(out.text)

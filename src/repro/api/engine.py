@@ -86,6 +86,7 @@ def execute_scenario(
     stats_before = ctx.sweep.stats.as_dict()
     telemetry_before = ctx.sweep.telemetry.as_dict()
     memo_before = memo_counters()
+    quarantine_before = len(getattr(ctx.sweep, "quarantined", ()))
 
     run = ScenarioRun(ctx=ctx, scenario=scenario, params=params)
     if scenario.grid is not None:
@@ -127,13 +128,27 @@ def execute_scenario(
         cache={k: stats_after[k] - stats_before[k] for k in stats_after},
         elapsed_s=time.perf_counter() - t0,
     )
+    extras = dict(report.extras)
+    # cells the resilient runner gave up on during THIS scenario: tidy
+    # error rows so partial sweeps are inspectable instead of silent.
+    lost = list(getattr(ctx.sweep, "quarantined", ()))[quarantine_before:]
+    if lost:
+        extras["quarantined"] = [
+            {
+                "model": cell.model,
+                "algorithm": cell.algorithm,
+                "platform": cell.platform,
+                "error": error,
+            }
+            for cell, error in lost
+        ]
     result = ResultSet(
         name=scenario.output,
         scenario=scenario,
         rows=report.rows,
         text=report.text,
         tables=dict(report.tables),
-        extras=dict(report.extras),
+        extras=extras,
         provenance=provenance,
         telemetry=telemetry,
     )

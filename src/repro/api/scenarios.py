@@ -782,6 +782,107 @@ def _stragglers(run: ScenarioRun) -> Report:
 
 
 # ======================================================================
+# Fault resilience (ISSUE 9 extension)
+# ======================================================================
+
+FAULT_INTENSITIES = (0.0, 0.25, 0.5, 0.75)
+
+
+def fault_plan_for(intensity: float):
+    """The scenario's fault recipe scaled by ``intensity`` in [0, 1]:
+    the PS<->worker:0 link degrades to ``1 - intensity`` of nominal
+    bandwidth over the first 500 ms of every iteration, while worker:1's
+    compute runs ``1 + 2*intensity`` times slower over a mid-iteration
+    window. ``intensity=0`` returns ``None`` (fault-free — byte-identical
+    to a config with no plan at all, pinned by the hypothesis suite)."""
+    from ..faults import FaultPlan, LinkDegradation, StragglerBurst
+
+    if intensity <= 0:
+        return None
+    return FaultPlan((
+        LinkDegradation("ps:0", "worker:0", start=0.0, duration=0.5,
+                        factor=1.0 - intensity),
+        StragglerBurst("worker:1", start=0.1, duration=0.4,
+                       factor=1.0 + 2.0 * intensity),
+    ))
+
+
+@register_analysis("fault_resilience")
+def _fault_resilience(run: ScenarioRun) -> Report:
+    from ..obs.capture import trace_cell
+
+    model, n_workers = run.param("model"), run.param("n_workers")
+    spec = ClusterSpec(n_workers=n_workers, n_ps=1, workload="training")
+    algorithms = ("baseline", "tic", "tac")
+    points = [
+        (intensity, algorithm)
+        for intensity in FAULT_INTENSITIES
+        for algorithm in algorithms
+    ]
+    cells = [
+        SimCell(
+            model=model,
+            spec=spec,
+            algorithm=algorithm,
+            platform="envG",
+            config=run.sim_config(faults=fault_plan_for(intensity)),
+        )
+        for intensity, algorithm in points
+    ]
+    results = run.sweep.run_cells(cells)
+    base_ms = {
+        intensity: res.mean_iteration_time * 1e3
+        for (intensity, algorithm), res in zip(points, results)
+        if algorithm == "baseline" and res is not None
+    }
+    rows = []
+    attribution = []
+    for (intensity, algorithm), cell, res in zip(points, cells, results):
+        if res is None:  # quarantined: error row instead of a crash
+            rows.append({
+                "model": model,
+                "algorithm": algorithm,
+                "intensity": intensity,
+                "iteration_ms": float("nan"),
+            })
+            continue
+        # one traced iteration per cell attributes the damage: how much
+        # capacity each fault window removed from busy entities.
+        impact = trace_cell(cell).trace.fault_impact()
+        comp_lost = sum(r["lost_s"] for r in impact if r["kind"] == "compute")
+        wire_lost = sum(r["lost_s"] for r in impact if r["kind"] == "wire")
+        iteration_ms = res.mean_iteration_time * 1e3
+        rows.append({
+            "model": model,
+            "algorithm": algorithm,
+            "intensity": intensity,
+            "iteration_ms": round(iteration_ms, 1),
+            "vs_baseline_pct": round(
+                (base_ms[intensity] / iteration_ms - 1) * 100, 1
+            ),
+            "fault_compute_lost_ms": round(comp_lost * 1e3, 2),
+            "fault_wire_lost_ms": round(wire_lost * 1e3, 2),
+            "n_fault_windows": len(impact),
+        })
+        for r in impact:
+            attribution.append(
+                {"algorithm": algorithm, "intensity": intensity, **r}
+            )
+        if algorithm == algorithms[-1]:
+            run.log(f"  fault intensity {intensity}: done")
+    text = render_rows(
+        rows,
+        "Fault resilience: scheduling under degraded links and straggler "
+        f"bursts ({model}, {n_workers} workers, envG)",
+    )
+    return Report(
+        rows=rows,
+        text=text,
+        tables={"fault_resilience_attribution": attribution},
+    )
+
+
+# ======================================================================
 # Pipelining ablation (extension)
 # ======================================================================
 
@@ -1193,6 +1294,17 @@ register_scenario(Scenario(
     models="$model",
     algorithms=("baseline", "tic"),
     params=(("model", "ResNet-50 v1"), ("n_workers", 4)),
+))
+
+register_scenario(Scenario(
+    name="fault_resilience",
+    title="Fault resilience: scheduling algorithms under injected faults",
+    output="fault_resilience",
+    analyze="fault_resilience",
+    models="$model",
+    algorithms=("baseline", "tic", "tac"),
+    aux_outputs=("fault_resilience_attribution",),
+    params=(("model", "AlexNet v2"), ("n_workers", 2)),
 ))
 
 register_scenario(Scenario(

@@ -98,6 +98,13 @@ def chrome_trace(trace: Trace, path: Optional[str] = None):
             rid = int(trace.op_res[op])
             tids[(pid, rid)] = trace.resource_names[rid]
 
+    # injected fault windows get their own swim-lane on the cluster
+    # process (one lane past the wire channels), so degraded periods are
+    # visible alongside the ops they slowed.
+    fault_tid = n_res + len(trace.chan_egress)
+    if trace.fault_windows:
+        tids[(0, fault_tid)] = "faults"
+
     used_pids = {pid for pid, _ in tids}
     for pid in sorted(used_pids):
         events.append(
@@ -162,6 +169,24 @@ def chrome_trace(trace: Trace, path: Optional[str] = None):
             }
         )
 
+    for kind, entity, w0, w1, rate in trace.fault_windows:
+        events.append(
+            {
+                "name": f"{kind} {entity} @{rate:g}",
+                "ph": "X",
+                "ts": float(w0) * _US,
+                "dur": float(w1 - w0) * _US,
+                "pid": 0,
+                "tid": fault_tid,
+                "cname": "terrible",
+                "args": {
+                    "kind": kind,
+                    "entity": entity,
+                    "rate": float(rate),
+                },
+            }
+        )
+
     doc = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -170,6 +195,7 @@ def chrome_trace(trace: Trace, path: Optional[str] = None):
             "n_ops": trace.n_ops,
             "n_jobs": len(trace.jobs) or 1,
             "priority_inversions": trace.out_of_order_handoffs,
+            "n_fault_windows": len(trace.fault_windows),
         },
     }
     if path is not None:

@@ -118,6 +118,13 @@ class Trace:
     #: per-§5.1-channel ``(op_ids, expected_ranks)`` pairs (empty when
     #: enforcement is off — then there is nothing to invert).
     ooo_groups: list = field(default_factory=list)
+    #: injected fault windows, name-resolved: ``(kind, entity, w0, w1,
+    #: rate)`` rows where kind is ``"compute"``/``"wire"`` (empty when
+    #: the variant ran fault-free). See :mod:`repro.faults`.
+    fault_windows: list = field(default_factory=list)
+    #: logical ``(src, dst)`` device pair per wire channel id (the fault
+    #: layer's link naming; empty on pre-fault cores).
+    chan_devices: list = field(default_factory=list)
 
     # -- construction ----------------------------------------------------
     @classmethod
@@ -166,6 +173,8 @@ class Trace:
             succ_indptr=np.asarray(core.succ_indptr),
             succ_indices=np.asarray(core.succ_indices),
             ooo_groups=[(ids, ranks) for ids, ranks, _ in variant._ooo_groups],
+            fault_windows=list(getattr(variant, "fault_windows", [])),
+            chan_devices=list(getattr(core, "chan_devices", [])),
         )
 
     # -- basic views -----------------------------------------------------
@@ -372,6 +381,56 @@ class Trace:
             "prioritized": _stats(pr),
             "unprioritized": _stats(un),
         }
+
+    def fault_impact(self) -> list:
+        """Per-fault-window impact attribution, one row per window.
+
+        Intersects each injected window with the busy intervals of the
+        entity it degraded — compute-op ``[start, end]`` spans for
+        compute windows, wire-chunk occupancy spans for wire windows —
+        and charges ``lost_s = busy_overlap_s * (1 - rate)``: the
+        capacity the window removed from the time the entity actually
+        spent running under it. This proportional-overlap attribution is
+        an approximation (knock-on queueing delays are not chased
+        through the DAG), so the summed ``lost_s`` is a lower bound on
+        the true makespan inflation. Fault-free traces return ``[]``.
+        """
+        rows = []
+        res_index = {n: i for i, n in enumerate(self.resource_names)}
+        chan_of: dict[str, list] = {}
+        for c, (src, dst) in enumerate(self.chan_devices):
+            chan_of.setdefault(f"{src}->{dst}", []).append(c)
+        chunk_chan = (
+            self.t_chan[self.chunk_op]
+            if len(self.chunk_op)
+            else np.zeros(0, dtype=np.int64)
+        )
+        for kind, entity, w0, w1, rate in self.fault_windows:
+            if kind == "compute":
+                rid = res_index.get(f"compute:{entity}", -1)
+                mask = (~self.is_transfer) & (self.op_res == rid)
+                lo, hi = self.start[mask], self.end[mask]
+            else:
+                chans = chan_of.get(entity, [])
+                mask = np.isin(chunk_chan, chans)
+                lo = self.chunk_start[mask]
+                hi = lo + self.chunk_dur[mask]
+            valid = ~(np.isnan(lo) | np.isnan(hi))
+            lo, hi = lo[valid], hi[valid]
+            ov = np.clip(np.minimum(hi, w1) - np.maximum(lo, w0), 0.0, None)
+            rows.append(
+                {
+                    "kind": kind,
+                    "entity": entity,
+                    "window_start_s": float(w0),
+                    "window_end_s": float(w1),
+                    "rate": float(rate),
+                    "busy_overlap_s": float(ov.sum()),
+                    "lost_s": float(ov.sum() * (1.0 - rate)),
+                    "n_ops": int(np.count_nonzero(ov > 0)),
+                }
+            )
+        return rows
 
     def job_stats(self) -> list:
         """Per-job fairness view for multi-job mixes.

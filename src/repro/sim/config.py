@@ -46,6 +46,8 @@ COMPUTE_QUEUE_POLICIES = ("random", "fifo")
 #:   depending on numba.
 from .kernel import KERNELS as ENGINE_KERNELS  # single source of truth
 
+from ..faults.plan import FaultPlan  # noqa: E402  (stdlib-only module)
+
 #: How a schedule's priorities gate *collective chunk* transfers (the
 #: reduce-scatter/all-gather ops of :mod:`repro.collectives`). Chunk
 #: streams are worker-to-worker pipelines with no PS-side hand-off op, so
@@ -107,6 +109,13 @@ class SimConfig:
     #: ``kernel``): a traced run produces the same numbers as an
     #: untraced one.
     trace: bool = False
+    #: declarative fault plan (see :mod:`repro.faults`): time-windowed
+    #: link degradation, NIC flaps, straggler bursts and host failures,
+    #: honored bit-identically by every kernel. ``None`` (and an empty
+    #: plan) is byte-identical to the pre-fault engine. Unlike ``kernel``
+    #: and ``trace``, faults DO change results, so a set plan folds into
+    #: sweep cache keys (see ``SimCell.key_payload``).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.enforcement not in ENFORCEMENT_MODES:
@@ -131,6 +140,10 @@ class SimConfig:
                 raise ValueError(f"slowdown factor for {device!r} must be > 0")
         if self.fabric_slots is not None and self.fabric_slots <= 0:
             raise ValueError("fabric_slots must be positive or None")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ValueError(
+                f"faults must be a FaultPlan or None, got {self.faults!r}"
+            )
         if self.kernel not in ENGINE_KERNELS:
             raise ValueError(
                 f"kernel must be one of {ENGINE_KERNELS}, got {self.kernel!r}"

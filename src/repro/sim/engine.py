@@ -68,6 +68,7 @@ golden matrix, so the kernel choice is observable only in wall time.
 
 from __future__ import annotations
 
+import difflib
 import heapq
 from bisect import bisect_left
 from dataclasses import dataclass
@@ -116,6 +117,67 @@ class IterationRecord:
     #: :mod:`repro.obs`), ``None`` otherwise. Tracing is observational:
     #: every other field is bit-identical with tracing on or off.
     trace: Optional[TraceEvents] = None
+
+
+def _compute_fault_end(t: float, work: float, windows) -> float:
+    """Absolute finish time of ``work`` seconds of compute started at
+    ``t`` under sorted disjoint ``(w0, w1, rate)`` fault windows, where
+    ``rate`` is the fraction of nominal speed inside the window and
+    ``rate == 0`` stalls (work resumes where it stopped at window end).
+
+    KEEP IN SYNC with :func:`repro.sim.kernel._compute_fault_end`: the
+    two kernels stay bit-exact only because both walk the windows with
+    this exact floating-point operation order.
+    """
+    cur = t
+    rem = work
+    for w0, w1, rate in windows:
+        if w1 <= cur:
+            continue
+        if w0 > cur:
+            gap = w0 - cur
+            if rem <= gap:
+                return cur + rem
+            rem -= gap
+            cur = w0
+        if rate <= 0.0:
+            cur = w1
+            continue
+        cap = (w1 - cur) * rate
+        if rem <= cap:
+            return cur + rem / rate
+        rem -= cap
+        cur = w1
+    return cur + rem
+
+
+def _chunk_fault_end(t: float, work: float, windows) -> float:
+    """Like :func:`_compute_fault_end` for one wire chunk, except a
+    zero-rate (outage) window *loses* the in-flight chunk: transmission
+    restarts from the full chunk at window end (host failure / dead-link
+    semantics — the RPC retransmits, it does not resume mid-chunk).
+    KEEP IN SYNC with :func:`repro.sim.kernel._chunk_fault_end`."""
+    cur = t
+    rem = work
+    for w0, w1, rate in windows:
+        if w1 <= cur:
+            continue
+        if w0 > cur:
+            gap = w0 - cur
+            if rem <= gap:
+                return cur + rem
+            rem -= gap
+            cur = w0
+        if rate <= 0.0:
+            cur = w1
+            rem = work
+            continue
+        cap = (w1 - cur) * rate
+        if rem <= cap:
+            return cur + rem / rate
+        rem -= cap
+        cur = w1
+    return cur + rem
 
 
 def _find_activation(g, transfer_op_id: int) -> Optional[int]:
@@ -216,6 +278,7 @@ class CompiledCore:
         self.t_chan = np.full(n, -1, dtype=np.int64)
         chan_eid: list[int] = []
         chan_iid: list[int] = []
+        chan_devices: list[tuple[str, str]] = []
         self.egress_ids: list[int] = []
         self.eg_chan_lists: list[list[int]] = []
         eg_pos: dict[int, int] = {}
@@ -229,6 +292,7 @@ class CompiledCore:
                 c = chan_index[key] = len(chan_index)
                 chan_eid.append(eid)
                 chan_iid.append(iid)
+                chan_devices.append(key)
                 chan_sizes.append(0)
                 pos = eg_pos.get(eid)
                 if pos is None:
@@ -241,6 +305,9 @@ class CompiledCore:
         self.n_wire_channels = len(chan_index)
         self.chan_eid = chan_eid
         self.chan_iid = chan_iid
+        #: logical (src, dst) device pair per channel id — the fault
+        #: layer's link universe (see :mod:`repro.faults.compile`).
+        self.chan_devices = chan_devices
         #: resource id -> position in ``egress_ids`` (-1 for non-egress).
         self.eg_pos = [-1] * self.n_res
         for eid, pos in eg_pos.items():
@@ -322,6 +389,21 @@ class CompiledCore:
         #: release time per root (parallel to ``roots``; zeros = legacy).
         self.root_times = arrival_of[np.asarray(self.roots, dtype=np.int64)] \
             if self.roots else np.zeros(0)
+
+        # --- per-job fault scoping (ISSUE 9) ------------------------------
+        # A job-mix spec may attach a FaultPlan per job; scope each into
+        # the job's ``j<i>/`` namespace at compile time. Variants merge
+        # this with SimConfig.faults when compiling fault windows.
+        self.job_faults = None
+        spec = getattr(cluster, "spec", None)
+        for i, job in enumerate(getattr(spec, "jobs", ()) or ()):
+            jp = getattr(job, "faults", None)
+            if jp is not None and jp.events:
+                scoped = jp.scoped(f"j{i}/")
+                self.job_faults = (
+                    scoped if self.job_faults is None
+                    else self.job_faults + scoped
+                )
 
         # --- resource_loads index arrays ---------------------------------
         self.tr_ids = np.flatnonzero(self.is_transfer)
@@ -475,9 +557,39 @@ class SimVariant:
         self.slowdown = np.ones(n)
         for device, factor in self.config.device_slowdown:
             ids = core.device_compute_ops.get(device)
-            if ids is not None:
-                self.slowdown[ids] = factor
+            if ids is None:
+                known = sorted(
+                    d for d in core.device_compute_ops if d is not None
+                )
+                hints = difflib.get_close_matches(device, known, n=1)
+                msg = (
+                    f"device_slowdown names unknown device {device!r}; "
+                    f"known devices: {known}"
+                )
+                if hints:
+                    msg += f" — did you mean {hints[0]!r}?"
+                raise ValueError(msg)
+            self.slowdown[ids] = factor
         self.base_dur = core.base_dur * self.slowdown
+
+        # --- deterministic fault windows (ISSUE 9) ----------------------
+        # Merge the config plan with any per-job plans scoped onto the
+        # core, then lower to per-resource / per-channel window lists.
+        # All-None lists mean the event loops execute the literal
+        # fault-free expressions (byte-identical to no faults layer).
+        plan = getattr(core, "job_faults", None)
+        cfg_plan = self.config.faults
+        if cfg_plan is not None and not cfg_plan.is_empty:
+            plan = cfg_plan if plan is None else plan + cfg_plan
+        if plan is not None and not plan.is_empty:
+            from ..faults.compile import compile_fault_plan
+
+            self._fault_comp, self._fault_wire = compile_fault_plan(
+                plan, core
+            )
+        else:
+            self._fault_comp = [None] * core.n_res
+            self._fault_wire = [None] * core.n_wire_channels
 
         # Zero-jitter fast path: factors are exactly 1.0, so the jittered
         # arrays equal the base arrays bit-for-bit — precompute once.
@@ -565,6 +677,14 @@ class SimVariant:
 
     def resource_names(self) -> list[str]:
         return self.core.resource_names()
+
+    @property
+    def fault_windows(self) -> list:
+        """Name-resolved ``(kind, entity, w0, w1, rate)`` fault windows
+        of this variant (empty without a plan) — the obs layer's view."""
+        from ..faults.compile import fault_window_rows
+
+        return fault_window_rows(self)
 
     # ------------------------------------------------------------------
     def _compile_gates(self) -> None:
@@ -805,6 +925,11 @@ class SimVariant:
         rng_random = rng.random
 
         has_handoff = bool(self.handoff_gate)
+        #: fault windows per compute resource / wire channel (ISSUE 9);
+        #: all-None without a plan — the None branches below are then the
+        #: pre-fault expressions, byte-for-byte.
+        fault_comp = self._fault_comp
+        fault_wire = self._fault_wire
         #: queued-transfer count per egress position: lets every event
         #: skip the dispatch call for idle NICs (bit-safe: an empty-queue
         #: dispatch consumes no RNG and changes no state).
@@ -900,7 +1025,11 @@ class SimVariant:
             if tr:
                 tr_depth[op] = total
             start[op] = t
-            heappush(heap, (t + dur[op], seq, 0, op))
+            fc = fault_comp[rid]
+            if fc is None:
+                heappush(heap, (t + dur[op], seq, 0, op))
+            else:
+                heappush(heap, (_compute_fault_end(t, dur[op], fc), seq, 0, op))
             seq += 1
 
         def dispatch_compute_plain(rid: int, t: float) -> None:
@@ -918,7 +1047,11 @@ class SimVariant:
             if tr:
                 tr_depth[op] = total
             start[op] = t
-            heappush(heap, (t + dur[op], seq, 0, op))
+            fc = fault_comp[rid]
+            if fc is None:
+                heappush(heap, (t + dur[op], seq, 0, op))
+            else:
+                heappush(heap, (_compute_fault_end(t, dur[op], fc), seq, 0, op))
             seq += 1
 
         dispatch_compute = (
@@ -1007,10 +1140,17 @@ class SimVariant:
                     cdur = r if r < co else co
                     r -= cdur
                     rem_wire[op] = r
+                    # fault windows stretch the chunk's wall time; the
+                    # nominal rem_wire decrement above is untouched, so
+                    # faults never lose or duplicate payload bytes.
+                    fw = fault_wire[c]
+                    cend = (t + cdur) if fw is None else _chunk_fault_end(
+                        t, cdur, fw
+                    )
                     if r <= 1e-18:
                         q_head[c] = h + 1  # wire done; channel moves on
                         eg_pending[pos] -= 1
-                        heappush(heap, (t + cdur + lat[op], seq, 1, op))
+                        heappush(heap, (cend + lat[op], seq, 1, op))
                         seq += 1
                     if tr:
                         if tce_i == len(tce_op):  # pragma: no cover
@@ -1020,13 +1160,16 @@ class SimVariant:
                             tce_dur.extend(tce_dur)
                         tce_op[tce_i] = op
                         tce_t0[tce_i] = t
-                        tce_dur[tce_i] = cdur
+                        # nominal cdur when unfaulted: (cend - t) would
+                        # differ in the last float bit from the untraced
+                        # engine's own cdur arithmetic.
+                        tce_dur[tce_i] = cdur if fw is None else cend - t
                         tce_i += 1
                     active[eid] += 1
                     active[iid] += 1
                     fabric_active += 1
                     ch_busy[c] = True
-                    heappush(heap, (t + cdur, seq, 2, op))
+                    heappush(heap, (cend, seq, 2, op))
                     seq += 1
                     rr_ptr[pos] = slot + 1
                     progressed = True

@@ -70,12 +70,23 @@ class JobSpec:
     arrival: float = 0.0
     workload: str = "training"
     sharding: str = "greedy"
+    #: per-job fault plan (see :mod:`repro.faults`), written against the
+    #: job's *own* device names — the engine scopes it into the job's
+    #: ``j<i>/`` namespace at compile time.
+    faults: object = None
 
     def __post_init__(self) -> None:
         if self.n_workers <= 0:
             raise ValueError("n_workers must be positive")
         if self.arrival < 0:
             raise ValueError("arrival offset must be >= 0")
+        if self.faults is not None:
+            from ..faults.plan import FaultPlan
+
+            if not isinstance(self.faults, FaultPlan):
+                raise ValueError(
+                    f"faults must be a FaultPlan or None, got {self.faults!r}"
+                )
 
     def to_spec(self):
         """The backend spec this job's cluster DAG is built from."""

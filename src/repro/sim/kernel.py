@@ -225,6 +225,31 @@ class CoreTables:
         self.raw_init = 4 * n + 1024
 
 
+def _window_csr(windows):
+    """CSR-pack per-entity fault window lists (ISSUE 9): ``windows`` is
+    one entry per compute resource / wire channel, each ``None`` or a
+    sorted ``[(w0, w1, rate), ...]``. Returns (indptr, w0, w1, rate);
+    an all-``None`` input packs to all-empty rows — the kernels then
+    take the literal fault-free branches."""
+    indptr = np.zeros(len(windows) + 1, dtype=np.int64)
+    np.cumsum(
+        [0 if ws is None else len(ws) for ws in windows], out=indptr[1:]
+    )
+    total = int(indptr[-1])
+    w0 = np.zeros(total, dtype=np.float64)
+    w1 = np.zeros(total, dtype=np.float64)
+    rate = np.zeros(total, dtype=np.float64)
+    i = 0
+    for ws in windows:
+        if ws:
+            for a, b, r in ws:
+                w0[i] = a
+                w1[i] = b
+                rate[i] = r
+                i += 1
+    return indptr, w0, w1, rate
+
+
 class VariantTables:
     """Schedule/config-dependent kernel arrays of one ``SimVariant``."""
 
@@ -252,6 +277,13 @@ class VariantTables:
         self.random_compute = cfg.compute_queue == "random"
         self.has_dag = bool(variant.dag_gate)
         self.has_prio = bool(variant.prio)
+        # fault-window CSRs (ISSUE 9): empty rows for unfaulted entities.
+        self.fc_indptr, self.fc_w0, self.fc_w1, self.fc_rate = _window_csr(
+            variant._fault_comp
+        )
+        self.fw_indptr, self.fw_w0, self.fw_w1, self.fw_rate = _window_csr(
+            variant._fault_wire
+        )
 
 
 def core_tables(core) -> CoreTables:
@@ -315,6 +347,24 @@ class StackedVariantTables:
         )
         self.has_dag = np.array([vt.has_dag for vt in vts], dtype=np.uint8)
         self.has_prio = np.array([vt.has_prio for vt in vts], dtype=np.uint8)
+        # fault CSRs: indptr rows stack densely; the window payloads
+        # (equal lengths per variant) share one flat+offset packing.
+        self.fc_indptr = np.stack([vt.fc_indptr for vt in vts])
+        self.fc_w0, self.fcw_off = _flat_with_offsets(
+            [vt.fc_w0 for vt in vts], np.float64
+        )
+        self.fc_w1, _ = _flat_with_offsets([vt.fc_w1 for vt in vts], np.float64)
+        self.fc_rate, _ = _flat_with_offsets(
+            [vt.fc_rate for vt in vts], np.float64
+        )
+        self.fw_indptr = np.stack([vt.fw_indptr for vt in vts])
+        self.fw_w0, self.fww_off = _flat_with_offsets(
+            [vt.fw_w0 for vt in vts], np.float64
+        )
+        self.fw_w1, _ = _flat_with_offsets([vt.fw_w1 for vt in vts], np.float64)
+        self.fw_rate, _ = _flat_with_offsets(
+            [vt.fw_rate for vt in vts], np.float64
+        )
 
 
 def stacked_tables(variants) -> StackedVariantTables:
@@ -448,6 +498,72 @@ def _heap_pop(ht, hseq, hcode, hop, st):
 
 
 # ----------------------------------------------------------------------
+# fault-window evaluators (ISSUE 9): CSR translations of the engine's
+# _compute_fault_end/_chunk_fault_end — KEEP the float-op order IN SYNC
+# with repro.sim.engine, bit-exactness across kernels depends on it.
+# ----------------------------------------------------------------------
+@kernel_func
+def _compute_fault_end(t, work, fw0, fw1, frate, lo, hi):
+    """Finish time of ``work`` compute seconds started at ``t`` under
+    the sorted disjoint windows ``[lo, hi)`` of the fault CSR; rate 0
+    stalls (work resumes at window end)."""
+    cur = t
+    rem = work
+    for i in range(lo, hi):
+        w1 = fw1[i]
+        if w1 <= cur:
+            continue
+        w0 = fw0[i]
+        if w0 > cur:
+            gap = w0 - cur
+            if rem <= gap:
+                return cur + rem
+            rem -= gap
+            cur = w0
+        rate = frate[i]
+        if rate <= 0.0:
+            cur = w1
+            continue
+        cap = (w1 - cur) * rate
+        if rem <= cap:
+            return cur + rem / rate
+        rem -= cap
+        cur = w1
+    return cur + rem
+
+
+@kernel_func
+def _chunk_fault_end(t, work, fw0, fw1, frate, lo, hi):
+    """Like ``_compute_fault_end`` for one wire chunk: a zero-rate
+    (outage) window loses the in-flight chunk, which retransmits from
+    scratch at window end."""
+    cur = t
+    rem = work
+    for i in range(lo, hi):
+        w1 = fw1[i]
+        if w1 <= cur:
+            continue
+        w0 = fw0[i]
+        if w0 > cur:
+            gap = w0 - cur
+            if rem <= gap:
+                return cur + rem
+            rem -= gap
+            cur = w0
+        rate = frate[i]
+        if rate <= 0.0:
+            cur = w1
+            rem = work
+            continue
+        cap = (w1 - cur) * rate
+        if rem <= cap:
+            return cur + rem / rate
+        rem -= cap
+        cur = w1
+    return cur + rem
+
+
+# ----------------------------------------------------------------------
 # dispatchers (exact array translations of SimVariant._execute's inner
 # functions — any semantic edit must land in both; the golden + parity
 # suites pin them against each other)
@@ -471,6 +587,7 @@ def _dispatch_compute(
     rc_indptr, rc_indices,
     gs_base, gs_stamp, gs_op, ch_handoff,
     elig_stamp, elig_ch,
+    fc_indptr, fc_w0, fc_w1, fc_rate,
     dur, start,
     ht, hseq, hcode, hop, st,
     raw, rsi, rsu,
@@ -555,7 +672,14 @@ def _dispatch_compute(
     if tr_on:
         tr_depth[op] = total
     start[op] = t
-    _heap_push(ht, hseq, hcode, hop, st, t + dur[op], 0, op)
+    if fc_indptr[rid + 1] > fc_indptr[rid]:
+        cend = _compute_fault_end(
+            t, dur[op], fc_w0, fc_w1, fc_rate,
+            fc_indptr[rid], fc_indptr[rid + 1],
+        )
+    else:
+        cend = t + dur[op]
+    _heap_push(ht, hseq, hcode, hop, st, cend, 0, op)
 
 
 @kernel_func
@@ -567,6 +691,7 @@ def _dispatch_egress(
     rr_ptr, eg_pending,
     prio, dg_ch, dg_rank, ch_complete,
     started, rem_wire, chunk_of, lat, is_chunk,
+    fw_indptr, fw_w0, fw_w1, fw_rate,
     start,
     ht, hseq, hcode, hop, st,
     raw, rsi, rsu,
@@ -659,10 +784,20 @@ def _dispatch_egress(
                 cdur = co
             r -= cdur
             rem_wire[op] = r
+            # fault windows stretch wall time only; the nominal rem_wire
+            # decrement above keeps payload bytes conserved.
+            faulted = fw_indptr[c + 1] > fw_indptr[c]
+            if faulted:
+                cend = _chunk_fault_end(
+                    t, cdur, fw_w0, fw_w1, fw_rate,
+                    fw_indptr[c], fw_indptr[c + 1],
+                )
+            else:
+                cend = t + cdur
             if r <= 1e-18:
                 q_head[c] = h + 1  # wire done; channel moves on
                 eg_pending[pos] -= 1
-                _heap_push(ht, hseq, hcode, hop, st, t + cdur + lat[op], 1, op)
+                _heap_push(ht, hseq, hcode, hop, st, cend + lat[op], 1, op)
             if tr_on:
                 ci = st[_TRACE]
                 if ci >= tce_op.shape[0]:
@@ -670,13 +805,18 @@ def _dispatch_egress(
                     return
                 tce_op[ci] = op
                 tce_t0[ci] = t
-                tce_dur[ci] = cdur
+                # nominal cdur when unfaulted: (cend - t) would differ
+                # in the last float bit from the untraced arithmetic.
+                if faulted:
+                    tce_dur[ci] = cend - t
+                else:
+                    tce_dur[ci] = cdur
                 st[_TRACE] = ci + 1
             active[eid] += 1
             active[iid] += 1
             st[_FABRIC] += 1
             ch_busy[c] = 1
-            _heap_push(ht, hseq, hcode, hop, st, t + cdur, 2, op)
+            _heap_push(ht, hseq, hcode, hop, st, cend, 2, op)
             rr_ptr[pos] = slot + 1
             progressed = True
             break
@@ -697,6 +837,8 @@ def _make_ready(
     gs_base, gs_stamp, gs_op, ch_handoff, ch_complete,
     elig_stamp, elig_ch,
     started, rem_wire, chunk_of, dur, start,
+    fc_indptr, fc_w0, fc_w1, fc_rate,
+    fw_indptr, fw_w0, fw_w1, fw_rate,
     ht, hseq, hcode, hop, st,
     raw, rsi, rsu,
     tr_on, tr_ready, tr_depth, tce_op, tce_t0, tce_dur,
@@ -728,6 +870,7 @@ def _make_ready(
             rr_ptr, eg_pending,
             prio, dg_ch, dg_rank, ch_complete,
             started, rem_wire, chunk_of, lat, is_chunk,
+            fw_indptr, fw_w0, fw_w1, fw_rate,
             start,
             ht, hseq, hcode, hop, st,
             raw, rsi, rsu,
@@ -761,6 +904,7 @@ def _make_ready(
             rc_indptr, rc_indices,
             gs_base, gs_stamp, gs_op, ch_handoff,
             elig_stamp, elig_ch,
+            fc_indptr, fc_w0, fc_w1, fc_rate,
             dur, start,
             ht, hseq, hcode, hop, st,
             raw, rsi, rsu,
@@ -779,6 +923,8 @@ def _event_loop(
     hg_ch, hg_rank, dg_ch, dg_rank, prio,
     rc_indptr, rc_indices, gs_base,
     mode, noise, fabric_cap, random_compute, has_dag, has_prio,
+    fc_indptr, fc_w0, fc_w1, fc_rate,
+    fw_indptr, fw_w0, fw_w1, fw_rate,
     # per-iteration inputs
     dur, wire, chunk_of, raw, heap_cap,
     # trace outputs (repro.obs; 0-size dummies when tr_on is False)
@@ -840,6 +986,8 @@ def _event_loop(
             gs_base, gs_stamp, gs_op, ch_handoff, ch_complete,
             elig_stamp, elig_ch,
             started, rem_wire, chunk_of, dur, start,
+            fc_indptr, fc_w0, fc_w1, fc_rate,
+            fw_indptr, fw_w0, fw_w1, fw_rate,
             ht, hseq, hcode, hop, st,
             raw, rsi, rsu,
             tr_on, tr_ready, tr_depth, tce_op, tce_t0, tce_dur,
@@ -867,6 +1015,7 @@ def _event_loop(
                 rr_ptr, eg_pending,
                 prio, dg_ch, dg_rank, ch_complete,
                 started, rem_wire, chunk_of, lat, is_chunk,
+                fw_indptr, fw_w0, fw_w1, fw_rate,
                 start,
                 ht, hseq, hcode, hop, st,
                 raw, rsi, rsu,
@@ -885,6 +1034,7 @@ def _event_loop(
                             rr_ptr, eg_pending,
                             prio, dg_ch, dg_rank, ch_complete,
                             started, rem_wire, chunk_of, lat, is_chunk,
+                            fw_indptr, fw_w0, fw_w1, fw_rate,
                             start,
                             ht, hseq, hcode, hop, st,
                             raw, rsi, rsu,
@@ -906,6 +1056,8 @@ def _event_loop(
                 gs_base, gs_stamp, gs_op, ch_handoff, ch_complete,
                 elig_stamp, elig_ch,
                 started, rem_wire, chunk_of, dur, start,
+                fc_indptr, fc_w0, fc_w1, fc_rate,
+                fw_indptr, fw_w0, fw_w1, fw_rate,
                 ht, hseq, hcode, hop, st,
                 raw, rsi, rsu,
                 tr_on, tr_ready, tr_depth, tce_op, tce_t0, tce_dur,
@@ -923,6 +1075,7 @@ def _event_loop(
                     rc_indptr, rc_indices,
                     gs_base, gs_stamp, gs_op, ch_handoff,
                     elig_stamp, elig_ch,
+                    fc_indptr, fc_w0, fc_w1, fc_rate,
                     dur, start,
                     ht, hseq, hcode, hop, st,
                     raw, rsi, rsu,
@@ -943,6 +1096,7 @@ def _event_loop(
                                 ch_busy, rr_ptr, eg_pending,
                                 prio, dg_ch, dg_rank, ch_complete,
                                 started, rem_wire, chunk_of, lat, is_chunk,
+                                fw_indptr, fw_w0, fw_w1, fw_rate,
                                 start,
                                 ht, hseq, hcode, hop, st,
                                 raw, rsi, rsu,
@@ -967,6 +1121,8 @@ def _event_loop(
                     gs_base, gs_stamp, gs_op, ch_handoff, ch_complete,
                     elig_stamp, elig_ch,
                     started, rem_wire, chunk_of, dur, start,
+                    fc_indptr, fc_w0, fc_w1, fc_rate,
+                    fw_indptr, fw_w0, fw_w1, fw_rate,
                     ht, hseq, hcode, hop, st,
                     raw, rsi, rsu,
                     tr_on, tr_ready, tr_depth, tce_op, tce_t0, tce_dur,
@@ -988,6 +1144,8 @@ def _rows_body(
     hg_ch2, hg_rank2, dg_ch2, dg_rank2, prio2,
     rc_indptr2, rc_ind_flat, rc_off, gsb_flat, gsb_off,
     modes, noises, fabric_caps, rand_comp, dag_flags, prio_flags,
+    fc_indptr2, fc_w0_flat, fc_w1_flat, fc_rate_flat, fcw_off,
+    fw_indptr2, fw_w0_flat, fw_w1_flat, fw_rate_flat, fww_off,
     # per-row inputs (leading axis = row)
     vrow, DUR, WIRE, CHUNK, raw_flat, raw_off, heap_cap,
     # per-row outputs
@@ -1018,6 +1176,12 @@ def _rows_body(
             gsb_flat[gsb_off[v]:gsb_off[v + 1]],
             modes[v], noises[v], fabric_caps[v],
             rand_comp[v] == 1, dag_flags[v] == 1, prio_flags[v] == 1,
+            fc_indptr2[v], fc_w0_flat[fcw_off[v]:fcw_off[v + 1]],
+            fc_w1_flat[fcw_off[v]:fcw_off[v + 1]],
+            fc_rate_flat[fcw_off[v]:fcw_off[v + 1]],
+            fw_indptr2[v], fw_w0_flat[fww_off[v]:fww_off[v + 1]],
+            fw_w1_flat[fww_off[v]:fww_off[v + 1]],
+            fw_rate_flat[fww_off[v]:fww_off[v + 1]],
             DUR[r], WIRE[r], CHUNK[r],
             raw_flat[raw_off[r]:raw_off[r + 1]], heap_cap,
             False, zf, zi, zi, zf, zf,
@@ -1043,7 +1207,7 @@ else:
 # ----------------------------------------------------------------------
 def _loop_args(ct, vt):
     """Positional prefix shared by every ``_event_loop`` call: the 20
-    core-table arrays followed by the 14 variant tables/scalars."""
+    core-table arrays followed by the 22 variant tables/scalars."""
     return (
         ct.succ_indptr, ct.succ_indices, ct.base_indeg,
         ct.is_transfer, ct.is_chunk, ct.op_res, ct.t_egress,
@@ -1055,6 +1219,8 @@ def _loop_args(ct, vt):
         vt.rc_indptr, vt.rc_indices, vt.gs_base,
         vt.mode, vt.noise, vt.fabric_cap, vt.random_compute,
         vt.has_dag, vt.has_prio,
+        vt.fc_indptr, vt.fc_w0, vt.fc_w1, vt.fc_rate,
+        vt.fw_indptr, vt.fw_w0, vt.fw_w1, vt.fw_rate,
     )
 
 
@@ -1165,6 +1331,8 @@ def execute_rows(variants, vrow, rngs, DUR, WIRE, CHUNK, *, parallel=None):
         svt.gs_base, svt.gsb_off,
         svt.mode, svt.noise, svt.fabric_cap, svt.random_compute,
         svt.has_dag, svt.has_prio,
+        svt.fc_indptr, svt.fc_w0, svt.fc_w1, svt.fc_rate, svt.fcw_off,
+        svt.fw_indptr, svt.fw_w0, svt.fw_w1, svt.fw_rate, svt.fww_off,
         vrow, DUR, WIRE, CHUNK, raw_flat, raw_off, ct.heap_cap,
         START, END, STATUS,
     )

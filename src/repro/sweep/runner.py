@@ -51,6 +51,7 @@ import atexit
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional, Sequence
 
@@ -318,6 +319,21 @@ class SweepRunner:
     rerun: bool = False
     share_cores: bool = True
     batch_cells: bool = True
+    #: resilience knobs (ISSUE 9): a cell task that raises, times out or
+    #: is lost to a worker-pool crash is retried up to ``max_retries``
+    #: times (exponential backoff ``retry_backoff_s * 2**(attempt-1)``)
+    #: on a robust self-contained lane before being quarantined;
+    #: ``cell_timeout_s`` bounds any single task's wall time (``None`` =
+    #: unbounded). A dead pool (``BrokenProcessPool`` — a worker was
+    #: OOM-killed or segfaulted) is rebuilt transparently, surviving
+    #: shared cores are kept, lost ones re-prepare on next use.
+    max_retries: int = 2
+    retry_backoff_s: float = 0.05
+    cell_timeout_s: Optional[float] = None
+    #: cells that exhausted their retries, as ``(cell, error)`` pairs —
+    #: the batch completes with partial results instead of raising
+    #: (``run_cells`` returns ``None`` at their positions).
+    quarantined: list = field(init=False, default_factory=list, repr=False)
     stats: CacheStats = field(init=False)
     #: run-level counters (see :mod:`repro.obs.telemetry`): cells
     #: requested/deduped/cached/simulated, group/shared-core activity,
@@ -363,7 +379,11 @@ class SweepRunner:
 
     # -- cells ----------------------------------------------------------
     def run_cells(self, cells: Sequence[SimCell]) -> list[SimulationResult]:
-        """Simulate a batch of cells; returns results in input order."""
+        """Simulate a batch of cells; returns results in input order.
+
+        Cells that exhausted their retries (see :attr:`quarantined`)
+        come back as ``None`` — the rest of the batch still completes.
+        """
         tm = self.telemetry
         tm.add("run_cells_calls")
         with tm.timer("run_cells_wall_s"):
@@ -409,7 +429,7 @@ class SweepRunner:
                     tm.peak("cell_wall_max_s", elapsed)
                     for cell, payload in zip(group, payloads):
                         self._store(cell, payload, resolved, keys)
-        return [resolved[cell] for cell in cells]
+        return [resolved.get(cell) for cell in cells]
 
     def _worth_sharing(self, n_cells: int, n_groups: int) -> bool:
         """Split a group's cells across workers only when that buys
@@ -439,13 +459,31 @@ class SweepRunner:
         sharing run as classic one-task-per-group units on the same pool.
         Cores persist on the runner for reuse and are unlinked in
         :meth:`close`.
+
+        **Resilience** (ISSUE 9): any lost unit — a task that raised,
+        exceeded ``cell_timeout_s``, or was in flight when the pool
+        crashed — is decomposed into its member cells and each cell
+        retried as a self-contained single-cell group task (no
+        shared-memory dependency, so retries survive lost cores), with
+        exponential backoff and at most ``max_retries`` attempts before
+        the cell is quarantined. ``BrokenProcessPool`` rebuilds the pool,
+        drops published cores whose ``/dev/shm`` blocks did not survive
+        and retries everything that was in flight; the batch always
+        completes without raising.
         """
-        pool = self._get_pool()
         tm = self.telemetry
         pending: dict = {}  # future -> ("cell", cell) | ("group", cells) | ...
+        deadlines: dict = {}  # future -> monotonic deadline (opt-in)
+        attempts: dict = {}  # cell -> retries consumed
+
+        def track(fut, tag) -> None:
+            pending[fut] = tag
+            if self.cell_timeout_s is not None:
+                deadlines[fut] = time.monotonic() + self.cell_timeout_s
 
         def submit_cells(group_key, cells) -> None:
             prepared = self._group_cores[group_key]
+            pool = self._get_pool()
             tm.add("shared_cell_tasks", len(cells))
             items = [
                 (prepared.schedules.get((cell.algorithm, cell.config.seed)),
@@ -460,14 +498,54 @@ class SweepRunner:
                     fut = pool.submit(
                         _run_shared_cells_batched, (prepared.handle, chunk)
                     )
-                    pending[fut] = ("batch", [cell for _s, cell in chunk])
+                    track(fut, ("batch", [cell for _s, cell in chunk]))
                 return
             for schedule, cell in items:
                 fut = pool.submit(
                     _run_shared_cell, (prepared.handle, schedule, cell)
                 )
-                pending[fut] = ("cell", cell)
+                track(fut, ("cell", cell))
 
+        def cells_of(tag) -> list:
+            kind = tag[0]
+            if kind == "cell":
+                return [tag[1]]
+            if kind in ("group", "batch"):
+                return list(tag[1])
+            return list(tag[2])  # prep / sched carry their member cells
+
+        def fail(tag, err) -> list:
+            """Split a lost unit into cells to retry vs. quarantine."""
+            retry = []
+            for cell in cells_of(tag):
+                if cell in resolved:
+                    continue
+                n = attempts.get(cell, 0) + 1
+                if n > self.max_retries:
+                    tm.add("quarantined")
+                    self.quarantined.append(
+                        (cell, f"{type(err).__name__}: {err}")
+                    )
+                    continue
+                attempts[cell] = n
+                tm.add("retries")
+                retry.append(cell)
+            return retry
+
+        def resubmit(cells_to_retry) -> None:
+            if not cells_to_retry:
+                return
+            delay = self.retry_backoff_s * (
+                2 ** (max(attempts[c] for c in cells_to_retry) - 1)
+            )
+            if delay > 0:
+                time.sleep(delay)
+            pool = self._get_pool()
+            for cell in cells_to_retry:
+                tm.add("groups_run")
+                track(pool.submit(_run_group, [cell]), ("group", [cell]))
+
+        pool = self._get_pool()
         for group_key, cells in groups.items():
             prepared = self._group_cores.get(group_key)
             if prepared is not None:
@@ -483,41 +561,83 @@ class SweepRunner:
                 )
                 if missing:
                     fut = pool.submit(_prepare_schedules, missing)
-                    pending[fut] = ("sched", group_key, missing)
+                    track(fut, ("sched", group_key, missing))
             elif len(cells) > 1 and self._worth_sharing(len(cells), len(groups)):
                 fut = pool.submit(_prepare_group, cells)
-                pending[fut] = ("prep", group_key, cells)
+                track(fut, ("prep", group_key, cells))
             else:
                 tm.add("groups_run")
                 fut = pool.submit(_run_group, cells)
-                pending[fut] = ("group", cells)
+                track(fut, ("group", cells))
 
         while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            timeout = None
+            if deadlines:
+                timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+            done, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+            retry: list = []
+            if deadlines:
+                now = time.monotonic()
+                for fut in [
+                    f for f, dl in list(deadlines.items())
+                    if dl <= now and f not in done
+                ]:
+                    tag = pending.pop(fut)
+                    deadlines.pop(fut, None)
+                    # cancel() frees the slot if the task never started;
+                    # a running worker keeps burning but its eventual
+                    # result is discarded (the future is untracked now).
+                    fut.cancel()
+                    retry += fail(
+                        tag,
+                        TimeoutError(
+                            f"cell task exceeded {self.cell_timeout_s}s"
+                        ),
+                    )
             for fut in done:
-                tag = pending.pop(fut)
+                tag = pending.pop(fut, None)
+                if tag is None:
+                    continue  # already written off by a pool rebuild
+                deadlines.pop(fut, None)
                 kind = tag[0]
+                try:
+                    value = fut.result()
+                except BrokenProcessPool as err:
+                    # the pool is dead: every in-flight future is lost.
+                    tm.add("pool_rebuilds")
+                    lost = [tag] + list(pending.values())
+                    pending.clear()
+                    deadlines.clear()
+                    self._rebuild_pool()
+                    self._drop_dead_cores()
+                    for t in lost:
+                        retry += fail(t, err)
+                    continue
+                except Exception as err:
+                    retry += fail(tag, err)
+                    continue
                 if kind == "cell":
-                    elapsed, payload = fut.result()
+                    elapsed, payload = value
                     tm.add("sim_wall_s", elapsed)
                     tm.peak("cell_wall_max_s", elapsed)
                     self._store(tag[1], payload, resolved, keys)
                 elif kind in ("group", "batch"):
-                    elapsed, payloads = fut.result()
+                    elapsed, payloads = value
                     tm.add("sim_wall_s", elapsed)
                     tm.peak("cell_wall_max_s", elapsed)
                     for cell, payload in zip(tag[1], payloads):
                         self._store(cell, payload, resolved, keys)
                 elif kind == "prep":
                     _, group_key, cells = tag
-                    self._group_cores[group_key] = fut.result()
+                    self._group_cores[group_key] = value
                     tm.add("cores_published")
                     submit_cells(group_key, cells)
                 else:  # sched top-up completed
                     _, group_key, cells = tag
-                    self._group_cores[group_key].schedules.update(fut.result())
+                    self._group_cores[group_key].schedules.update(value)
                     tm.add("schedule_topups")
                     submit_cells(group_key, cells)
+            resubmit(retry)
 
     def _store(self, cell, payload, resolved, keys) -> None:
         if isinstance(payload, dict):
@@ -538,7 +658,13 @@ class SweepRunner:
             flat.append(cell)
         results = self.run_cells(flat)
         return [
-            Speedup(throughput_gain_pct(sched, base), sched, base)
+            Speedup(
+                throughput_gain_pct(sched, base)
+                if sched is not None and base is not None
+                else float("nan"),
+                sched,
+                base,
+            )
             for base, sched in zip(results[::2], results[1::2])
         ]
 
@@ -591,6 +717,29 @@ class SweepRunner:
             atexit.register(self.close)
         return self._pool
 
+    def _rebuild_pool(self) -> None:
+        """Discard a dead pool so the next :meth:`_get_pool` spawns a
+        fresh one (a broken pool rejects all further submissions)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _drop_dead_cores(self) -> None:
+        """After a pool crash, drop published cores whose ``/dev/shm``
+        blocks did not survive (publish untracks blocks, so a SIGKILLed
+        worker normally leaves them intact — this guards the abnormal
+        teardown orders where a tracker reaped them anyway). Survivors
+        keep serving; dropped groups re-prepare on next use."""
+        from multiprocessing import shared_memory
+
+        for group_key, prepared in list(self._group_cores.items()):
+            try:
+                shm = shared_memory.SharedMemory(name=prepared.handle.shm_name)
+                sharedcore._untrack(shm)
+                shm.close()
+            except FileNotFoundError:
+                self._group_cores.pop(group_key)
+
     def _map(self, fn, items: list) -> list:
         if not items:
             return []
@@ -599,4 +748,11 @@ class SweepRunner:
         # explicit chunksize: default (1) pickles one task per IPC round
         # trip; batching amortizes it while keeping the pool balanced.
         chunksize = max(1, len(items) // (self.jobs * 4) or 1)
-        return list(self._get_pool().map(fn, items, chunksize=chunksize))
+        try:
+            return list(self._get_pool().map(fn, items, chunksize=chunksize))
+        except BrokenProcessPool:
+            # one retry on a fresh pool: a crashed worker (OOM-killed,
+            # segfaulted) must not take the whole batch down.
+            self.telemetry.add("pool_rebuilds")
+            self._rebuild_pool()
+            return list(self._get_pool().map(fn, items, chunksize=chunksize))

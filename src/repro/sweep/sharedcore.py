@@ -88,6 +88,8 @@ STATE_ATTRS = (
     "roots",
     "jobs",
     "platform",
+    "chan_devices",
+    "job_faults",
 )
 
 

@@ -84,6 +84,12 @@ class SimCell:
         # traced run produces the same summaries as an untraced one, so
         # both share — and can never poison — one cache entry.
         cell["config"].pop("trace", None)
+        # Faults DO change results, so a set plan stays in the key (the
+        # event dataclasses carry a ``kind`` marker field, so asdict()
+        # output distinguishes event types). A None plan is dropped so
+        # pre-fault cache entries keep their keys.
+        if cell["config"].get("faults") is None:
+            cell["config"].pop("faults", None)
         return {
             "kind": "sim_cell",
             "spec_type": type(self.spec).__name__,

@@ -107,8 +107,8 @@ def test_registry_covers_every_table_and_figure():
     assert names == (
         "table1", "motivation", "fig7", "fig8", "fig9", "fig10", "fig11",
         "fig12", "fig13", "headline", "ablations", "stragglers",
-        "pipelining", "allreduce", "jobmix_contention", "jobmix_crosstalk",
-        "jobmix_starvation",
+        "fault_resilience", "pipelining", "allreduce", "jobmix_contention",
+        "jobmix_crosstalk", "jobmix_starvation",
     )
 
 

@@ -260,16 +260,26 @@ class TestSharedSweep:
     def test_failed_group_prep_leaks_nothing(self):
         """A wizard failure during group prep must not strand a published
         block (the wizard runs before publish; an unreachable handle
-        could never be unlinked)."""
+        could never be unlinked). The resilient runner quarantines the
+        failing cell after its retries and completes the rest of the
+        batch instead of raising."""
         before = set(sharedcore.leaked_segments())
         cells = [
             SimCell(model="AlexNet v2", spec=ClusterSpec(2, 1, "training"),
                     algorithm=a, config=CFG)
             for a in ("baseline", "nonexistent_algo")
         ]
-        with SweepRunner(jobs=2) as runner:
-            with pytest.raises(Exception, match="nonexistent_algo"):
-                runner.run_cells(cells)
+        with SweepRunner(jobs=2, retry_backoff_s=0.0) as runner:
+            results = runner.run_cells(cells)
+            assert results[0] is not None  # the healthy cell completed
+            assert results[1] is None  # the poisoned cell was given up on
+            assert len(runner.quarantined) == 1
+            cell, error = runner.quarantined[0]
+            assert cell.algorithm == "nonexistent_algo"
+            assert "nonexistent_algo" in error
+            counters = runner.telemetry.as_dict()
+            assert counters["quarantined"] == 1
+            assert counters["retries"] >= 1
         assert set(sharedcore.leaked_segments()) <= before
 
     def test_close_unlinks_published_cores(self):
