@@ -39,6 +39,11 @@ from .context import (
 )
 from .engine import ScenarioRun, execute_scenario
 from .jobmix_scenarios import JobMixScenario
+
+# Deliberately after jobmix_scenarios (whose import pulls the built-in
+# scenarios in): registration order is presentation order, and the
+# replay studies come last.
+from .replay_scenarios import ReplayScenario
 from .registry import (
     UnknownAnalysisError,
     UnknownScenarioError,
@@ -63,6 +68,7 @@ __all__ = [
     "Provenance",
     "QUICK",
     "QUICK_MODELS",
+    "ReplayScenario",
     "Report",
     "ResultSet",
     "SCALES",

@@ -73,6 +73,27 @@ class ScenarioRun:
         return self.params[name]
 
 
+def _quarantined_row(cell, error: str) -> dict:
+    """A tidy row identifying one quarantined cell: the coordinates plus
+    the bound parameter values (cluster shape, workload, batch factor,
+    seed) that distinguish it from its grid siblings — without them a
+    replay/sweep log's quarantine report cannot say *which* cell died."""
+    spec = getattr(cell, "spec", None)
+    config = getattr(cell, "config", None)
+    return {
+        "model": getattr(cell, "model", ""),
+        "algorithm": getattr(cell, "algorithm", ""),
+        "platform": getattr(cell, "platform", ""),
+        "workers": getattr(spec, "n_workers", ""),
+        "ps": getattr(spec, "n_ps", ""),
+        "workload": getattr(spec, "workload", ""),
+        "placement": getattr(spec, "placement", ""),
+        "batch_factor": getattr(cell, "batch_factor", ""),
+        "seed": getattr(config, "seed", ""),
+        "error": error,
+    }
+
+
 def execute_scenario(
     ctx: Context, scenario: Union[str, Scenario], /, **overrides
 ) -> ResultSet:
@@ -133,15 +154,7 @@ def execute_scenario(
     # error rows so partial sweeps are inspectable instead of silent.
     lost = list(getattr(ctx.sweep, "quarantined", ()))[quarantine_before:]
     if lost:
-        extras["quarantined"] = [
-            {
-                "model": cell.model,
-                "algorithm": cell.algorithm,
-                "platform": cell.platform,
-                "error": error,
-            }
-            for cell, error in lost
-        ]
+        extras["quarantined"] = [_quarantined_row(cell, error) for cell, error in lost]
     result = ResultSet(
         name=scenario.output,
         scenario=scenario,

@@ -72,6 +72,11 @@ def _ensure_defaults() -> None:
     _defaults_loaded = True  # set first: the imports below re-enter us
     from . import scenarios  # noqa: F401 — registers the built-ins
     from . import jobmix_scenarios  # noqa: F401 — multi-job studies
+    # replay_scenarios is imported by repro.api.__init__ AFTER the two
+    # above finish (importing it here would execute it mid-scenarios
+    # import and put cluster_day ahead of the built-ins); every path to
+    # this registry runs the package __init__ first, so it is always
+    # registered by the time a lookup happens.
 
 
 # ----------------------------------------------------------------------

@@ -11,11 +11,16 @@ Usage::
     python -m repro.experiments all --full             # the whole paper
     tictac-repro fig13 --results-dir out/              # console script
     tictac-repro trace headline                        # Perfetto trace
+    tictac-repro replay --n-jobs 200                   # trace replay
 
 ``trace`` captures one traced iteration of one scenario cell
 (:func:`repro.obs.capture.capture_trace`) and writes it through an
 exporter — Chrome trace-event JSON for https://ui.perfetto.dev by
 default, tidy per-op CSV with ``--exporter csv``.
+
+``replay`` streams a job trace (synthetic or Alibaba-style CSV) through
+the dynamic-admission cluster scheduler (:mod:`repro.replay`) into a
+chunked, crash-resumable result sink.
 """
 
 from __future__ import annotations
@@ -96,6 +101,28 @@ def print_listing() -> None:
     print("\ntrace exporters (tictac-repro trace <scenario> --exporter NAME):")
     for name in sorted(EXPORTERS):
         print(f"  {name:<12} {_EXPORTER_NOTES.get(name, '')}")
+    from ..replay.admission import admission_policies
+    from ..replay.sink import CsvChunkSink, sink_backends
+    from ..replay.trace import trace_generators
+
+    print("\ntrace generators (tictac-repro replay --arrival NAME):")
+    for name, generator in sorted(trace_generators().items()):
+        print(f"  {name:<12} {generator.description}")
+    print("\nadmission policies (tictac-repro replay --admission NAME):")
+    for name, policy in sorted(admission_policies().items()):
+        print(f"  {name:<12} {policy.description}")
+    print("\nreplay sinks (tictac-repro replay --sink NAME):")
+    for name, cls in sorted(sink_backends().items()):
+        if cls is CsvChunkSink:
+            note = "chunked CSV append with manifest crash-resume"
+        else:
+            try:
+                import pyarrow  # noqa: F401
+
+                note = "one parquet row group per chunk (no resume)"
+            except ImportError:
+                note = "unavailable (pip install pyarrow)"
+        print(f"  {name:<12} {note}")
     print("\nplatforms: " + ", ".join(sorted(PLATFORMS)))
 
 
@@ -177,11 +204,173 @@ def trace_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def replay_main(argv: Sequence[str]) -> int:
+    """``tictac-repro replay``: stream a trace through the epoch
+    scheduler (:mod:`repro.replay`) into a chunked result sink.
+
+    The per-job rows land in ``--out`` as they finish (never held in
+    memory); the incremental per-mode summary lands in ``--summary-out``
+    on exit. A killed run resumes from the sink's last committed chunk
+    with ``--resume`` — the finished files are byte-identical to an
+    uninterrupted run.
+    """
+    parser = argparse.ArgumentParser(
+        prog="tictac-repro replay",
+        description="Replay a job trace (synthetic or Alibaba-style CSV) "
+        "through the dynamic-admission cluster scheduler.",
+    )
+    parser.add_argument("--trace", default=None, metavar="CSV",
+                        help="Alibaba-GPU-2020-style CSV trace "
+                        "(job_name/start_time/end_time[/inst_num/status]); "
+                        "default: a seeded synthetic trace")
+    parser.add_argument("--n-jobs", type=int, default=100, metavar="N",
+                        help="synthetic trace: number of jobs (default 100)")
+    parser.add_argument("--horizon-s", type=float, default=3600.0, metavar="S",
+                        help="synthetic trace: arrival horizon in seconds")
+    parser.add_argument("--arrival", default="poisson",
+                        help="synthetic arrival process (see 'tictac-repro "
+                        "list': poisson/uniform/bursty)")
+    parser.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="replay only the first N trace jobs")
+    parser.add_argument("--algorithm", default="mix",
+                        help="scheduling mode: 'mix' (per-job algorithms), "
+                        "'baseline', 'tic', 'tac', ... (default: mix)")
+    parser.add_argument("--admission", default="fifo",
+                        help="admission policy (fifo/backfill; see list)")
+    parser.add_argument("--n-hosts", type=int, default=8)
+    parser.add_argument("--slots-per-host", type=int, default=2)
+    parser.add_argument("--placement", default="packed",
+                        help="placement policy for running jobs (packed/"
+                        "spread/rack_aware; see list)")
+    parser.add_argument("--platform", default="envC")
+    parser.add_argument("--sink", default="csv",
+                        help="result sink backend (csv/parquet)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="per-job row stream (default: "
+                        "<results-dir>/replay_jobs.<ext>)")
+    parser.add_argument("--summary-out", default=None, metavar="PATH",
+                        help="per-mode summary CSV (default: "
+                        "<results-dir>/replay.csv)")
+    parser.add_argument("--chunk-rows", type=int, default=256, metavar="N",
+                        help="rows per committed sink chunk (default 256)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume a killed run from --out's manifest "
+                        "(csv sink only)")
+    parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                        help="worker processes for rate cells "
+                        "(default: $REPRO_JOBS or 1)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--results-dir", default="results")
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(list(argv))
+
+    from ..analysis import format_table, write_csv
+    from ..replay.admission import UnknownAdmissionError
+    from ..replay.aggregate import ReplayAggregate
+    from ..replay.engine import (
+        JOB_COLUMNS,
+        ReplayCluster,
+        ReplayError,
+        replay,
+    )
+    from ..replay.loader import load_alibaba_csv
+    from ..replay.sink import SinkError, UnknownSinkError, make_sink
+    from ..replay.trace import SyntheticTraceSpec, TraceError, generate_trace
+
+    try:
+        if args.trace is not None:
+            traces = load_alibaba_csv(args.trace, limit=args.limit)
+        else:
+            traces = generate_trace(
+                SyntheticTraceSpec(
+                    n_jobs=args.n_jobs,
+                    horizon_s=args.horizon_s,
+                    arrival=args.arrival,
+                ),
+                seed=args.seed,
+            )
+            if args.limit is not None:
+                traces = traces[: args.limit]
+        cluster = ReplayCluster(
+            n_hosts=args.n_hosts,
+            slots_per_host=args.slots_per_host,
+            placement=args.placement,
+            platform=args.platform,
+        )
+    except (TraceError, ReplayError, KeyError) as exc:
+        parser.error(str(exc))
+
+    ext = "parquet" if args.sink == "parquet" else "csv"
+    out = args.out or os.path.join(args.results_dir, f"replay_jobs.{ext}")
+    summary_out = args.summary_out or os.path.join(
+        args.results_dir, "replay.csv"
+    )
+    # test hook: SIGKILL this process right after the Nth chunk commit,
+    # leaving exactly the on-disk state a real crash would.
+    crash_after = os.environ.get("REPRO_REPLAY_CRASH_AFTER_CHUNKS")
+    try:
+        sink = make_sink(
+            args.sink,
+            out,
+            JOB_COLUMNS,
+            chunk_rows=args.chunk_rows,
+            resume=args.resume,
+            aggregate=ReplayAggregate(cluster.total_slots),
+            crash_after_chunks=int(crash_after) if crash_after else None,
+        )
+    except (UnknownSinkError, SinkError) as exc:
+        parser.error(str(exc))
+
+    ctx = make_context(
+        full=False,  # replay rates are scale-independent (1-iteration cells)
+        results_dir=args.results_dir,
+        seed=args.seed,
+        verbose=not args.quiet,
+        jobs=args.jobs,
+        **({"use_cache": False} if args.no_cache else {}),
+    )
+    try:
+        try:
+            result = replay(
+                traces,
+                cluster,
+                runner=ctx.sweep,
+                algorithm=args.algorithm,
+                admission=args.admission,
+                config=ctx.sim_config(),
+                sink=sink,
+                log=ctx.log,
+            )
+        except (ReplayError, UnknownAdmissionError) as exc:
+            sink.close(complete=False)
+            parser.error(str(exc))
+        info = sink.close()
+        summary = sink.aggregate.summary_rows()
+        write_csv(summary_out, summary)
+        if not args.quiet:
+            print(format_table(summary))
+            print(
+                f"replay[{result.label}] {result.done}/{result.jobs} jobs, "
+                f"{len(result.quarantined)} quarantined, {result.epochs} "
+                f"epochs, {result.compositions} compositions, queue peak "
+                f"{result.queue_peak}"
+            )
+            print(f"  jobs    -> {info['path']} ({info['rows']} rows, "
+                  f"{info['chunks']} chunks)")
+            print(f"  summary -> {summary_out}")
+    finally:
+        ctx.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "replay":
+        return replay_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="tictac-repro",
         description="Regenerate the tables and figures of the TicTac paper.",
@@ -192,7 +381,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="SCENARIO",
         help="which scenarios to run ('all' for every table/figure, "
         "'list' to enumerate scenarios/backends/exporters/kernels, "
-        "'trace <scenario>' to capture a Perfetto trace): "
+        "'trace <scenario>' to capture a Perfetto trace, 'replay' to "
+        "stream a job trace through the cluster scheduler): "
         + ", ".join(scenario_names()),
     )
     scale = parser.add_mutually_exclusive_group()

@@ -1,0 +1,107 @@
+"""Admission policies: which queued jobs enter the cluster when slots free.
+
+The replay engine (:mod:`repro.replay.engine`) keeps a FIFO queue of
+arrived-but-not-admitted jobs. At every epoch boundary it asks the
+configured *admission policy* which queue entries to admit against the
+currently free slot count. Policies are deterministic pure functions
+registered exactly like placement policies
+(:mod:`repro.backends.placement`): a small registry with difflib
+did-you-mean suggestions on unknown names.
+
+* ``fifo`` — strict arrival order with head-of-line blocking: admit the
+  queue prefix that fits; a too-big head job blocks everyone behind it.
+* ``backfill`` — FIFO first, then scan past a blocked head and admit
+  any later job that still fits the remaining slots (EASY-style
+  backfill without reservations; small jobs slip around big ones).
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+class UnknownAdmissionError(KeyError):
+    """Lookup of an admission policy name that is not registered."""
+
+    def __init__(self, name: str, known: tuple[str, ...]):
+        hints = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
+        message = (
+            f"unknown admission policy {name!r}; available: {', '.join(known)}"
+        )
+        if hints:
+            message += f" — did you mean {' or '.join(map(repr, hints))}?"
+        super().__init__(message)
+        self.name = name
+        self.hints = tuple(hints)
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """One registered policy.
+
+    ``fn(slots_needed, free_slots)`` sees the queued jobs' slot demands
+    in arrival order and returns the *indices* to admit, in admission
+    order; the total admitted demand must fit ``free_slots``.
+    """
+
+    name: str
+    description: str
+    fn: Callable[[Sequence[int], int], list[int]]
+
+
+_ADMISSIONS: dict[str, AdmissionPolicy] = {}
+
+
+def register_admission(policy: AdmissionPolicy) -> None:
+    """Register a policy; later registrations replace earlier ones."""
+    _ADMISSIONS[policy.name] = policy
+
+
+def admission_policies() -> dict[str, AdmissionPolicy]:
+    """Registered admission policies by name."""
+    return dict(_ADMISSIONS)
+
+
+def get_admission(name: str) -> AdmissionPolicy:
+    """Look up a policy by name; unknown names raise
+    :class:`UnknownAdmissionError` with near-match suggestions."""
+    try:
+        return _ADMISSIONS[name]
+    except KeyError:
+        raise UnknownAdmissionError(name, tuple(_ADMISSIONS)) from None
+
+
+def _fifo(slots_needed: Sequence[int], free_slots: int) -> list[int]:
+    admitted = []
+    for i, need in enumerate(slots_needed):
+        if need > free_slots:
+            break  # head-of-line blocking: nothing behind may pass
+        admitted.append(i)
+        free_slots -= need
+    return admitted
+
+
+def _backfill(slots_needed: Sequence[int], free_slots: int) -> list[int]:
+    admitted = []
+    for i, need in enumerate(slots_needed):
+        if need <= free_slots:
+            admitted.append(i)
+            free_slots -= need
+    return admitted
+
+
+register_admission(AdmissionPolicy(
+    name="fifo",
+    description="strict arrival order, head-of-line blocking",
+    fn=_fifo,
+))
+register_admission(AdmissionPolicy(
+    name="backfill",
+    description="FIFO plus backfilling smaller jobs around a blocked head",
+    fn=_backfill,
+))

@@ -1,0 +1,237 @@
+"""Incremental aggregation for streaming replays.
+
+A million-row replay cannot hold its rows to compute percentiles at the
+end, so the sink aggregates *as rows stream through it*:
+
+* :class:`P2Quantile` — the P² (piecewise-parabolic) single-pass
+  quantile estimator of Jain & Chlamtac (CACM 1985): five markers,
+  O(1) memory, deterministic. Exact below five observations.
+* :class:`ReplayAggregate` — per-group (one group per replay algorithm
+  mode) running JCT/queueing/fairness statistics: counts, means, max
+  finish (makespan), Jain fairness from sum/sum-of-squares, busy
+  slot-seconds (utilization), and P² percentiles of JCT.
+
+Both serialize to plain-JSON state and restore **exactly** (Python's
+json round-trips finite doubles bit-for-bit), which is what lets a
+crash-resumed replay produce byte-identical aggregated output: the sink
+persists the aggregate state in its chunk manifest and restores it
+before replaying the uncommitted tail.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+
+class P2Quantile:
+    """Streaming estimate of the ``q``-quantile (P² algorithm)."""
+
+    __slots__ = ("q", "heights", "positions", "count")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        self.q = q
+        self.heights: list[float] = []  # first 5 observations, then markers
+        self.positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self.count = 0
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        if self.count <= 5:
+            self.heights.append(x)
+            self.heights.sort()
+            return
+        h, n, q = self.heights, self.positions, self.q
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = next(i for i in range(4) if h[i] <= x < h[i + 1])
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        desired = [
+            1.0,
+            (self.count - 1) * q / 2.0 + 1.0,
+            (self.count - 1) * q + 1.0,
+            (self.count - 1) * (1.0 + q) / 2.0 + 1.0,
+            float(self.count),
+        ]
+        for i in (1, 2, 3):
+            d = desired[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                s = 1.0 if d >= 1.0 else -1.0
+                # piecewise-parabolic prediction, linear fallback when it
+                # would break marker monotonicity
+                hp = h[i] + s / (n[i + 1] - n[i - 1]) * (
+                    (n[i] - n[i - 1] + s) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                    + (n[i + 1] - n[i] - s) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+                )
+                if not h[i - 1] < hp < h[i + 1]:
+                    j = i + int(s)
+                    hp = h[i] + s * (h[j] - h[i]) / (n[j] - n[i])
+                h[i] = hp
+                n[i] += s
+
+    def value(self) -> float:
+        """The current estimate (exact while count <= 5; 0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        if self.count <= 5:
+            rank = self.q * (len(self.heights) - 1)
+            lo = int(rank)
+            hi = min(lo + 1, len(self.heights) - 1)
+            return self.heights[lo] + (rank - lo) * (
+                self.heights[hi] - self.heights[lo]
+            )
+        return self.heights[2]
+
+    # -- manifest persistence -------------------------------------------
+    def state(self) -> dict:
+        return {
+            "q": self.q,
+            "heights": list(self.heights),
+            "positions": list(self.positions),
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "P2Quantile":
+        est = cls(state["q"])
+        est.heights = [float(v) for v in state["heights"]]
+        est.positions = [float(v) for v in state["positions"]]
+        est.count = int(state["count"])
+        return est
+
+
+_QUANTILES = (("p50", 0.5), ("p95", 0.95), ("p99", 0.99))
+
+_SUMS = (
+    "jct_sum", "queue_sum", "wait_sum", "run_sum",
+    "slowdown_sum", "slowdown_sumsq", "slot_seconds",
+)
+
+
+class _Group:
+    """Running statistics of one replay group (algorithm mode)."""
+
+    __slots__ = ("n", "quarantined", "makespan", "queue_max", "sums", "jct")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.quarantined = 0
+        self.makespan = 0.0
+        self.queue_max = 0.0
+        self.sums = {name: 0.0 for name in _SUMS}
+        self.jct = {name: P2Quantile(q) for name, q in _QUANTILES}
+
+
+class ReplayAggregate:
+    """Per-group streaming summary over replay job rows.
+
+    ``observe`` consumes the exact row dicts the sink writes (grouped by
+    ``group_by``, default the ``algorithm`` column); ``summary_rows``
+    renders one tidy row per group at any point of the stream.
+    """
+
+    def __init__(self, total_slots: int, group_by: str = "algorithm") -> None:
+        if total_slots <= 0:
+            raise ValueError(f"total_slots must be positive, got {total_slots}")
+        self.total_slots = total_slots
+        self.group_by = group_by
+        self.groups: dict[str, _Group] = {}
+
+    def _group(self, key: str) -> _Group:
+        if key not in self.groups:
+            self.groups[key] = _Group()
+        return self.groups[key]
+
+    def observe(self, row: Mapping) -> None:
+        g = self._group(str(row[self.group_by]))
+        if row.get("status") != "done":
+            g.quarantined += 1
+            return
+        g.n += 1
+        g.makespan = max(g.makespan, float(row["finish_s"]))
+        g.queue_max = max(g.queue_max, float(row["queue_delay_s"]))
+        slowdown = float(row["slowdown"])
+        g.sums["jct_sum"] += float(row["jct_s"])
+        g.sums["queue_sum"] += float(row["queue_delay_s"])
+        g.sums["wait_sum"] += float(row["wait_s"])
+        g.sums["run_sum"] += float(row["run_s"])
+        g.sums["slowdown_sum"] += slowdown
+        g.sums["slowdown_sumsq"] += slowdown * slowdown
+        g.sums["slot_seconds"] += float(row["run_s"]) * int(row["slots"])
+        for est in g.jct.values():
+            est.add(float(row["jct_s"]))
+
+    def summary_rows(self) -> list[dict]:
+        rows = []
+        for key in sorted(self.groups):
+            g = self.groups[key]
+            n = g.n or 1
+            sumsq = g.sums["slowdown_sumsq"]
+            jain = (
+                g.sums["slowdown_sum"] ** 2 / (g.n * sumsq)
+                if g.n and sumsq
+                else 1.0
+            )
+            denom = g.makespan * self.total_slots
+            rows.append({
+                self.group_by: key,
+                "jobs": g.n,
+                "quarantined": g.quarantined,
+                "makespan_s": round(g.makespan, 3),
+                "mean_jct_s": round(g.sums["jct_sum"] / n, 3),
+                "p50_jct_s": round(g.jct["p50"].value(), 3),
+                "p95_jct_s": round(g.jct["p95"].value(), 3),
+                "p99_jct_s": round(g.jct["p99"].value(), 3),
+                "mean_queue_delay_s": round(g.sums["queue_sum"] / n, 3),
+                "max_queue_delay_s": round(g.queue_max, 3),
+                "mean_wait_s": round(g.sums["wait_sum"] / n, 3),
+                "mean_slowdown": round(g.sums["slowdown_sum"] / n, 4),
+                "jain_fairness": round(jain, 4),
+                "utilization": round(
+                    g.sums["slot_seconds"] / denom if denom else 0.0, 4
+                ),
+            })
+        return rows
+
+    # -- manifest persistence -------------------------------------------
+    def state(self) -> dict:
+        return {
+            "total_slots": self.total_slots,
+            "group_by": self.group_by,
+            "groups": {
+                key: {
+                    "n": g.n,
+                    "quarantined": g.quarantined,
+                    "makespan": g.makespan,
+                    "queue_max": g.queue_max,
+                    "sums": dict(g.sums),
+                    "jct": {name: est.state() for name, est in g.jct.items()},
+                }
+                for key, g in self.groups.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Optional[Mapping]) -> "ReplayAggregate":
+        agg = cls(state["total_slots"], state["group_by"])
+        for key, gs in state["groups"].items():
+            g = agg._group(key)
+            g.n = int(gs["n"])
+            g.quarantined = int(gs["quarantined"])
+            g.makespan = float(gs["makespan"])
+            g.queue_max = float(gs["queue_max"])
+            g.sums = {name: float(gs["sums"][name]) for name in _SUMS}
+            g.jct = {
+                name: P2Quantile.from_state(s) for name, s in gs["jct"].items()
+            }
+        return agg

@@ -41,6 +41,7 @@ job builds at its model's native batch size.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 
 from ..core.schedules import Schedule
@@ -78,8 +79,13 @@ class JobSpec:
     def __post_init__(self) -> None:
         if self.n_workers <= 0:
             raise ValueError("n_workers must be positive")
-        if self.arrival < 0:
-            raise ValueError("arrival offset must be >= 0")
+        # NaN slips through a plain `< 0` check and would poison the
+        # compiled deferred-release table (event time comparisons against
+        # NaN are all False); infinities would defer the job forever.
+        if not math.isfinite(self.arrival) or self.arrival < 0:
+            raise ValueError(
+                f"arrival offset must be finite and >= 0, got {self.arrival!r}"
+            )
         if self.faults is not None:
             from ..faults.plan import FaultPlan
 

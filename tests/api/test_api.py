@@ -108,7 +108,7 @@ def test_registry_covers_every_table_and_figure():
         "table1", "motivation", "fig7", "fig8", "fig9", "fig10", "fig11",
         "fig12", "fig13", "headline", "ablations", "stragglers",
         "fault_resilience", "pipelining", "allreduce", "jobmix_contention",
-        "jobmix_crosstalk", "jobmix_starvation",
+        "jobmix_crosstalk", "jobmix_starvation", "cluster_day",
     )
 
 
@@ -321,3 +321,32 @@ def test_session_run_all_subset(tmp_path):
 def test_session_scenarios_listing(tmp_path):
     with Session(scale=MICRO, results_dir=str(tmp_path)) as session:
         assert "fig7" in session.scenarios()
+
+
+def test_quarantined_extras_carry_cell_params():
+    """A quarantined cell's row names the exact simulation point that was
+    lost — model/algorithm/platform plus the bound spec and config params —
+    so a failed sweep can be re-run surgically from the CSV alone."""
+    from repro.api.engine import _quarantined_row
+    from repro.ps import ClusterSpec
+    from repro.sim import SimConfig
+    from repro.sweep.spec import SimCell
+
+    cell = SimCell(
+        model="AlexNet v2", spec=ClusterSpec(4, 2, "training"),
+        algorithm="tic", platform="envC", batch_factor=2.0,
+        config=SimConfig(seed=13),
+    )
+    row = _quarantined_row(cell, "boom: worker died")
+    assert row["model"] == "AlexNet v2"
+    assert row["algorithm"] == "tic"
+    assert row["platform"] == "envC"
+    assert row["workers"] == 4
+    assert row["ps"] == 2
+    assert row["workload"] == "training"
+    assert row["batch_factor"] == 2.0
+    assert row["seed"] == 13
+    assert row["error"] == "boom: worker died"
+    # a malformed cell still yields a schema-complete row
+    sparse = _quarantined_row(object(), "late failure")
+    assert sparse["model"] == "" and sparse["error"] == "late failure"

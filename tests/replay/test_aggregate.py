@@ -1,0 +1,135 @@
+"""Streaming aggregation: P² quantiles + the replay summary."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.replay.aggregate import P2Quantile, ReplayAggregate
+
+
+def lcg(seed=1):
+    """Tiny deterministic uniform stream (no numpy needed here)."""
+    state = seed
+    while True:
+        state = (1103515245 * state + 12345) % (1 << 31)
+        yield state / (1 << 31)
+
+
+class TestP2Quantile:
+    def test_exact_below_five(self):
+        est = P2Quantile(0.5)
+        for x in (5.0, 1.0, 3.0):
+            est.add(x)
+        assert est.value() == 3.0
+
+    def test_empty(self):
+        assert P2Quantile(0.9).value() == 0.0
+
+    def test_bad_q(self):
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    def test_tracks_true_quantile(self, q):
+        stream = lcg(7)
+        xs = [next(stream) * 100.0 for _ in range(5000)]
+        est = P2Quantile(q)
+        for x in xs:
+            est.add(x)
+        true = sorted(xs)[int(q * (len(xs) - 1))]
+        # P^2 is an estimator: a few percent of the value range is the
+        # documented accuracy regime at this sample size.
+        assert abs(est.value() - true) < 2.5
+
+    def test_state_roundtrip_is_exact(self):
+        stream = lcg(3)
+        xs = [next(stream) * 10.0 for _ in range(200)]
+        full = P2Quantile(0.95)
+        for x in xs:
+            full.add(x)
+        # interrupt after 120 observations, persist through JSON, resume
+        resumed = P2Quantile(0.95)
+        for x in xs[:120]:
+            resumed.add(x)
+        resumed = P2Quantile.from_state(
+            json.loads(json.dumps(resumed.state()))
+        )
+        for x in xs[120:]:
+            resumed.add(x)
+        assert resumed.value() == full.value()
+        assert resumed.state() == full.state()
+
+
+def done_row(alg="mix", jct=100.0, queue=5.0, wait=6.0, run=95.0,
+             finish=200.0, slowdown=1.1, slots=3):
+    return {
+        "algorithm": alg, "status": "done", "jct_s": jct,
+        "queue_delay_s": queue, "wait_s": wait, "run_s": run,
+        "finish_s": finish, "slowdown": slowdown, "slots": slots,
+    }
+
+
+class TestReplayAggregate:
+    def test_summary_math(self):
+        agg = ReplayAggregate(total_slots=16)
+        agg.observe(done_row(jct=100.0, run=90.0, finish=100.0))
+        agg.observe(done_row(jct=200.0, run=110.0, finish=250.0))
+        agg.observe({"algorithm": "mix", "status": "quarantined"})
+        (row,) = agg.summary_rows()
+        assert row["algorithm"] == "mix"
+        assert row["jobs"] == 2
+        assert row["quarantined"] == 1
+        assert row["makespan_s"] == 250.0
+        assert row["mean_jct_s"] == 150.0
+        assert row["p50_jct_s"] == 150.0
+        assert row["utilization"] == round(
+            (90.0 + 110.0) * 3 / (250.0 * 16), 4
+        )
+
+    def test_groups_sorted(self):
+        agg = ReplayAggregate(total_slots=4)
+        agg.observe(done_row(alg="tic"))
+        agg.observe(done_row(alg="baseline"))
+        assert [r["algorithm"] for r in agg.summary_rows()] == [
+            "baseline", "tic",
+        ]
+
+    def test_jain_fairness_unfair_mix(self):
+        agg = ReplayAggregate(total_slots=4)
+        agg.observe(done_row(slowdown=1.0))
+        agg.observe(done_row(slowdown=3.0))
+        (row,) = agg.summary_rows()
+        assert row["jain_fairness"] == round(16.0 / (2 * 10.0), 4)
+
+    def test_state_roundtrip_is_exact(self):
+        stream = lcg(11)
+        rows = [
+            done_row(
+                alg=("tic", "tac")[int(next(stream) * 2)],
+                jct=next(stream) * 500.0,
+                run=next(stream) * 400.0,
+                finish=next(stream) * 5000.0,
+                slowdown=1.0 + next(stream),
+            )
+            for _ in range(300)
+        ]
+        full = ReplayAggregate(total_slots=16)
+        for r in rows:
+            full.observe(r)
+        resumed = ReplayAggregate(total_slots=16)
+        for r in rows[:170]:
+            resumed.observe(r)
+        resumed = ReplayAggregate.from_state(
+            json.loads(json.dumps(resumed.state()))
+        )
+        for r in rows[170:]:
+            resumed.observe(r)
+        assert resumed.summary_rows() == full.summary_rows()
+        assert resumed.state() == full.state()
+
+    def test_bad_total_slots(self):
+        with pytest.raises(ValueError):
+            ReplayAggregate(total_slots=0)

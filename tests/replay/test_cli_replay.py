@@ -1,0 +1,106 @@
+"""``tictac-repro replay``: end-to-end CLI runs + SIGKILL crash-resume.
+
+The crash-resume test is the subsystem's acceptance scenario (ISSUE 10
+satellite): a replay killed mid-stream by SIGKILL (the
+``REPRO_REPLAY_CRASH_AFTER_CHUNKS`` sink hook, the same crash shape the
+sweep-resilience suite injects into pool workers) and resumed with
+``--resume`` must leave the per-job CSV **and** the aggregated summary
+byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+
+import pytest
+
+SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def run_cli(args, cwd, env_extra=None, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_SCALE", None)
+    env.pop("REPRO_JOBS", None)
+    if env_extra:
+        env.update(env_extra)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "replay", *args],
+        cwd=cwd, env=env, capture_output=True, text=True,
+    )
+    if check:
+        assert proc.returncode == 0, proc.stderr
+    return proc
+
+
+SMALL = ["--n-jobs", "6", "--horizon-s", "400", "--n-hosts", "4",
+         "--chunk-rows", "2", "--quiet"]
+
+
+class TestReplayCli:
+    def test_end_to_end_synthetic(self, tmp_path):
+        run_cli([*SMALL, "--results-dir", "out"], tmp_path)
+        jobs = (tmp_path / "out" / "replay_jobs.csv").read_bytes()
+        assert jobs.count(b"\r\n") == 7  # header + 6 job rows
+        summary = (tmp_path / "out" / "replay.csv").read_text()
+        assert "mean_jct_s" in summary and "mix" in summary
+
+    def test_unknown_arrival_suggests(self, tmp_path):
+        proc = run_cli(
+            [*SMALL, "--arrival", "poison"], tmp_path, check=False
+        )
+        assert proc.returncode == 2
+        assert "did you mean 'poisson'" in proc.stderr
+
+    def test_unknown_admission_suggests(self, tmp_path):
+        proc = run_cli(
+            [*SMALL, "--admission", "fifi"], tmp_path, check=False
+        )
+        assert proc.returncode == 2
+        assert "did you mean 'fifo'" in proc.stderr
+
+    def test_unknown_sink_suggests(self, tmp_path):
+        proc = run_cli([*SMALL, "--sink", "cvs"], tmp_path, check=False)
+        assert proc.returncode == 2
+        assert "did you mean 'csv'" in proc.stderr
+
+    def test_resume_without_prior_run_fails(self, tmp_path):
+        proc = run_cli([*SMALL, "--resume"], tmp_path, check=False)
+        assert proc.returncode == 2
+        assert "no manifest" in proc.stderr
+
+
+class TestCrashResume:
+    @pytest.mark.slow
+    def test_sigkill_then_resume_is_byte_identical(self, tmp_path):
+        """Kill the replay right after its second committed chunk, then
+        resume: final jobs CSV and aggregated summary are byte-identical
+        to an uninterrupted run of the same seed."""
+        args = [*SMALL, "--results-dir", "out"]
+
+        # uninterrupted reference (separate directory, separate cache)
+        run_cli([*SMALL, "--results-dir", "ref"], tmp_path)
+
+        crashed = run_cli(
+            args, tmp_path,
+            env_extra={"REPRO_REPLAY_CRASH_AFTER_CHUNKS": "2"},
+            check=False,
+        )
+        assert crashed.returncode == -signal.SIGKILL
+        out = tmp_path / "out"
+        assert (out / "replay_jobs.csv.manifest.json").exists()
+        assert not (out / "replay.csv").exists()  # died before summary
+
+        run_cli([*args, "--resume"], tmp_path)
+
+        ref = tmp_path / "ref"
+        assert (out / "replay_jobs.csv").read_bytes() == (
+            ref / "replay_jobs.csv"
+        ).read_bytes()
+        assert (out / "replay.csv").read_bytes() == (
+            ref / "replay.csv"
+        ).read_bytes()

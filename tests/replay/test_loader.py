@@ -1,0 +1,71 @@
+"""The Alibaba-style CSV trace loader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.replay.loader import DEFAULT_MODEL_MIX, load_alibaba_csv
+from repro.replay.trace import TraceError
+
+
+def write(tmp_path, text, name="trace.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+GOOD = """job_name,start_time,end_time,inst_num,status
+b,1100,1400,4,Terminated
+a,1000,1250,2,Terminated
+c,1200,1300,99,Terminated
+failed,1300,1500,2,Failed
+backwards,1400,1100,2,Terminated
+"""
+
+
+class TestLoadAlibabaCsv:
+    def test_rebased_sorted_and_filtered(self, tmp_path):
+        trace = load_alibaba_csv(write(tmp_path, GOOD))
+        assert [t.job_id for t in trace] == ["a", "b", "c"]
+        assert [t.arrival_s for t in trace] == [0.0, 100.0, 200.0]
+        assert [t.duration_s for t in trace] == [250.0, 300.0, 100.0]
+        assert all(t.iterations is None for t in trace)
+
+    def test_workers_clamped(self, tmp_path):
+        trace = load_alibaba_csv(write(tmp_path, GOOD), workers_cap=8)
+        assert [t.n_workers for t in trace] == [2, 4, 8]
+
+    def test_model_round_robin(self, tmp_path):
+        trace = load_alibaba_csv(write(tmp_path, GOOD))
+        assert [t.model for t in trace] == list(DEFAULT_MODEL_MIX)
+
+    def test_model_column_wins(self, tmp_path):
+        text = (
+            "job_name,start_time,end_time,model\n"
+            "a,0,10,VGG-16\n"
+        )
+        trace = load_alibaba_csv(write(tmp_path, text))
+        assert trace[0].model == "VGG-16"
+
+    def test_limit(self, tmp_path):
+        trace = load_alibaba_csv(write(tmp_path, GOOD), limit=2)
+        assert [t.job_id for t in trace] == ["a", "b"]
+
+    def test_missing_column_suggests(self, tmp_path):
+        text = "job_name,start_tim,end_time\na,0,10\n"
+        with pytest.raises(TraceError, match="did you mean 'start_tim'"):
+            load_alibaba_csv(write(tmp_path, text))
+
+    def test_no_usable_rows(self, tmp_path):
+        text = "job_name,start_time,end_time,status\na,0,10,Failed\n"
+        with pytest.raises(TraceError, match="no usable"):
+            load_alibaba_csv(write(tmp_path, text))
+
+    def test_unparsable_timestamps_skipped(self, tmp_path):
+        text = (
+            "job_name,start_time,end_time\n"
+            "bad,zero,ten\n"
+            "good,0,10\n"
+        )
+        trace = load_alibaba_csv(write(tmp_path, text))
+        assert [t.job_id for t in trace] == ["good"]

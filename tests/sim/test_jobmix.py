@@ -61,6 +61,14 @@ def test_mix_spec_rejects_unknown_placement_with_hint():
         JobMixSpec(jobs=TWO_ALEX.jobs, placement="spreed")
 
 
+@pytest.mark.parametrize("arrival", [-1.0, float("nan"), float("inf")])
+def test_job_spec_rejects_bad_arrival(arrival):
+    # NaN would sail through a plain `< 0` check and poison the deferred-
+    # release event table; infinities would defer the job forever.
+    with pytest.raises(ValueError, match="arrival"):
+        JobSpec("AlexNet v2", n_workers=2, n_ps=1, arrival=arrival)
+
+
 def test_mix_spec_is_a_registered_backend():
     assert backend_for_spec(TWO_ALEX).name == "jobmix"
 
